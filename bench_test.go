@@ -1,0 +1,210 @@
+package teraphim
+
+// Benchmarks regenerating the paper's tables. Each BenchmarkTableN* target
+// measures the work behind one table of the evaluation section; run
+//
+//	go test -bench=Table -benchmem
+//
+// for the full sweep, or cmd/experiments for the formatted tables
+// themselves. The deployment is built once and shared across benchmarks.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"teraphim/internal/core"
+	"teraphim/internal/costmodel"
+	"teraphim/internal/experiments"
+	"teraphim/internal/trecsynth"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+	benchErr    error
+)
+
+// benchConfig is a reduced-scale corpus so the full benchmark sweep stays
+// in CI-friendly time; cmd/experiments uses the full configuration.
+func benchConfig() trecsynth.Config {
+	cfg := trecsynth.DefaultConfig()
+	cfg.Subs = []trecsynth.SubSpec{
+		{Name: "AP", NumDocs: 700},
+		{Name: "FR", NumDocs: 450},
+		{Name: "WSJ", NumDocs: 650},
+		{Name: "ZIFF", NumDocs: 550},
+	}
+	cfg.VocabSize = 6000
+	cfg.NumTopics = 30
+	cfg.NumLongQueries = 12
+	cfg.NumShortQueries = 16
+	return cfg
+}
+
+func runner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRunner, benchErr = experiments.NewRunner(benchConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchRunner
+}
+
+// benchEffectiveness measures one Table 1 row: ranking a full query set to
+// depth 1000 and scoring it.
+func benchEffectiveness(b *testing.B, spec experiments.RunSpec, kind trecsynth.QueryKind) {
+	r := runner(b)
+	queries := r.Corpus.QueriesOf(kind)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Effectiveness(spec, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1MSandCVLong(b *testing.B) {
+	benchEffectiveness(b, experiments.RunSpec{Label: "CV", Mode: core.ModeCV}, trecsynth.LongQuery)
+}
+
+func BenchmarkTable1MSandCVShort(b *testing.B) {
+	benchEffectiveness(b, experiments.RunSpec{Label: "CV", Mode: core.ModeCV}, trecsynth.ShortQuery)
+}
+
+func BenchmarkTable1CNLong(b *testing.B) {
+	benchEffectiveness(b, experiments.RunSpec{Label: "CN", Mode: core.ModeCN}, trecsynth.LongQuery)
+}
+
+func BenchmarkTable1CNShort(b *testing.B) {
+	benchEffectiveness(b, experiments.RunSpec{Label: "CN", Mode: core.ModeCN}, trecsynth.ShortQuery)
+}
+
+func BenchmarkTable1CIK100Short(b *testing.B) {
+	benchEffectiveness(b, experiments.RunSpec{Label: "CI", Mode: core.ModeCI, KPrime: 100, Group: 10}, trecsynth.ShortQuery)
+}
+
+func BenchmarkTable1CIK1000Short(b *testing.B) {
+	benchEffectiveness(b, experiments.RunSpec{Label: "CI", Mode: core.ModeCI, KPrime: 1000, Group: 10}, trecsynth.ShortQuery)
+}
+
+// BenchmarkTable2WANEstimate measures the Table 2-derived WAN cost model
+// applied to a real query trace.
+func BenchmarkTable2WANEstimate(b *testing.B) {
+	r := runner(b)
+	queries := r.Corpus.QueriesOf(trecsynth.ShortQuery)[:1]
+	_, traces, err := r.Run(experiments.RunSpec{Label: "CN", Mode: core.ModeCN}, queries, 20, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := costmodel.WAN()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := costmodel.Estimate(cfg, traces[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchQuery measures one Table 3/4 cell's workload: a single distributed
+// query under one mode (the cost model then maps its trace to each network
+// configuration).
+func benchQuery(b *testing.B, spec experiments.RunSpec, opts core.Options) {
+	r := runner(b)
+	queries := r.Corpus.QueriesOf(trecsynth.ShortQuery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		single := []trecsynth.Query{q}
+		if _, _, err := r.Run(spec, single, 20, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3MS(b *testing.B) {
+	benchQuery(b, experiments.RunSpec{Label: "MS", Mode: core.ModeMS}, core.Options{})
+}
+
+func BenchmarkTable3CN(b *testing.B) {
+	benchQuery(b, experiments.RunSpec{Label: "CN", Mode: core.ModeCN}, core.Options{})
+}
+
+func BenchmarkTable3CV(b *testing.B) {
+	benchQuery(b, experiments.RunSpec{Label: "CV", Mode: core.ModeCV}, core.Options{})
+}
+
+func BenchmarkTable3CI(b *testing.B) {
+	benchQuery(b, experiments.RunSpec{Label: "CI", Mode: core.ModeCI, KPrime: 100, Group: 10}, core.Options{})
+}
+
+func BenchmarkTable4CN(b *testing.B) {
+	benchQuery(b, experiments.RunSpec{Label: "CN", Mode: core.ModeCN},
+		core.Options{Fetch: true, CompressedTransfer: true})
+}
+
+func BenchmarkTable4CV(b *testing.B) {
+	benchQuery(b, experiments.RunSpec{Label: "CV", Mode: core.ModeCV},
+		core.Options{Fetch: true, CompressedTransfer: true})
+}
+
+func BenchmarkTable4CI(b *testing.B) {
+	benchQuery(b, experiments.RunSpec{Label: "CI", Mode: core.ModeCI, KPrime: 100, Group: 10},
+		core.Options{Fetch: true, CompressedTransfer: true})
+}
+
+// BenchmarkSizesReport measures the §4 storage accounting (vocabulary,
+// grouped vs full central index).
+func BenchmarkSizesReport(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Sizes(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkipping measures the §4 skipping ablation (CI candidate scoring
+// with and without skip structures).
+func BenchmarkSkipping(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Skipping(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupSize measures the CI group-size ablation sweep.
+func BenchmarkGroupSize(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.GroupSizeAblation(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompressionAblation measures the compressed-vs-plain document
+// transfer comparison.
+func BenchmarkCompressionAblation(b *testing.B) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.CompressionAblation(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command librarian serves a collection built by mgbuild over TCP, speaking
+// the TERAPHIM wire protocol. One librarian per subcollection; point a
+// receptionist at several of them.
+//
+// Usage:
+//
+//	librarian -col collection/ -listen :7001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"teraphim/internal/librarian"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "librarian:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("librarian", flag.ContinueOnError)
+	col := fs.String("col", "", "collection directory (required)")
+	listen := fs.String("listen", ":7001", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *col == "" {
+		return fmt.Errorf("-col is required")
+	}
+	lib, err := librarian.Load(*col)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := librarian.Serve(lib, ln)
+	fmt.Printf("librarian %q serving %d documents on %s\n",
+		lib.Name(), lib.Engine().Index().NumDocs(), srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return srv.Close()
+}

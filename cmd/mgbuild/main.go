@@ -1,0 +1,103 @@
+// Command mgbuild builds a TERAPHIM collection (compressed inverted index +
+// compressed document store) from a directory of plain-text files, one
+// document per file.
+//
+// Usage:
+//
+//	mgbuild -in documents/ -out collection/ [-name NAME] [-nostem] [-nostop]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"teraphim/internal/librarian"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mgbuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("mgbuild", flag.ContinueOnError)
+	in := fs.String("in", "", "directory of input text files (required)")
+	out := fs.String("out", "", "output collection directory (required)")
+	name := fs.String("name", "", "collection name (default: basename of -in)")
+	noStem := fs.Bool("nostem", false, "disable Porter stemming")
+	noStop := fs.Bool("nostop", false, "disable stopword removal")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	if *name == "" {
+		*name = filepath.Base(filepath.Clean(*in))
+	}
+
+	docs, err := readDocs(*in)
+	if err != nil {
+		return err
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("no .txt documents in %s", *in)
+	}
+
+	var opts []textproc.Option
+	if *noStem {
+		opts = append(opts, textproc.WithoutStemming())
+	}
+	if *noStop {
+		opts = append(opts, textproc.WithoutStopwords())
+	}
+	lib, err := librarian.Build(*name, docs, librarian.BuildOptions{Analyzer: textproc.NewAnalyzer(opts...)})
+	if err != nil {
+		return err
+	}
+	if err := librarian.Save(*out, lib, librarian.SaveOptions{Stopwords: !*noStop, Stemming: !*noStem}); err != nil {
+		return err
+	}
+	ix := lib.Engine().Index()
+	fmt.Fprintf(w, "built %q: %d docs, %d terms, %d postings\n",
+		*name, ix.NumDocs(), ix.NumTerms(), ix.NumPostings())
+	fmt.Fprintf(w, "index %d B, store %d B (raw text %d B)\n",
+		ix.SizeBytes(), lib.Store().CompressedSize(), lib.Store().RawSize())
+	return nil
+}
+
+func readDocs(dir string) ([]store.Document, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	docs := make([]store.Document, 0, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, store.Document{
+			ID:    uint32(len(docs)),
+			Title: strings.TrimSuffix(n, ".txt"),
+			Text:  string(data),
+		})
+	}
+	return docs, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCorpus(t *testing.T, dir string, docs map[string]string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, text := range docs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildFromDirectory(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "docs")
+	out := filepath.Join(t.TempDir(), "col")
+	writeCorpus(t, in, map[string]string{
+		"a.txt":   "the quick brown fox",
+		"b.txt":   "jumps over the lazy dog",
+		"ignored": "not a txt file",
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-in", in, "-out", out, "-name", "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `built "test": 2 docs`) {
+		t.Fatalf("output: %s", buf.String())
+	}
+	for _, f := range []string{"collection.conf", "index.tpix", "store.tpst"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestBuildValidatesFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil); err == nil {
+		t.Fatal("missing flags: want error")
+	}
+	if err := run(&buf, []string{"-in", t.TempDir(), "-out", t.TempDir()}); err == nil {
+		t.Fatal("empty input dir: want error")
+	}
+	if err := run(&buf, []string{"-in", "/nonexistent", "-out", t.TempDir()}); err == nil {
+		t.Fatal("nonexistent input dir: want error")
+	}
+}
+
+func TestBuildDefaultNameAndOptions(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "mycollection")
+	out := filepath.Join(t.TempDir(), "col")
+	writeCorpus(t, in, map[string]string{"a.txt": "some words here"})
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-in", in, "-out", out, "-nostem", "-nostop"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `built "mycollection"`) {
+		t.Fatalf("default name not used: %s", buf.String())
+	}
+	conf, err := os.ReadFile(filepath.Join(out, "collection.conf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(conf), "stemming=false") || !strings.Contains(string(conf), "stopwords=false") {
+		t.Fatalf("conf does not record analyzer options: %s", conf)
+	}
+}

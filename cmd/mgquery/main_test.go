@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"teraphim/internal/librarian"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+)
+
+func buildCollection(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "col")
+	lib, err := librarian.Build("q", []store.Document{
+		{Title: "cats", Text: "cats nap in the warm sun"},
+		{Title: "dogs", Text: "dogs chase cats up trees"},
+		{Title: "fish", Text: "fish swim in cool water"},
+	}, librarian.BuildOptions{
+		Analyzer: textproc.NewAnalyzer(textproc.WithoutStopwords(), textproc.WithoutStemming()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := librarian.Save(dir, lib, librarian.SaveOptions{Stopwords: false, Stemming: false}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOneShotRankedQuery(t *testing.T) {
+	col := buildCollection(t)
+	var buf bytes.Buffer
+	if err := run(&buf, strings.NewReader(""), []string{"-col", col, "-k", "2", "cats"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 answers") {
+		t.Fatalf("output: %s", out)
+	}
+	if !strings.Contains(out, "cats") || !strings.Contains(out, "dogs") {
+		t.Fatalf("expected both cat docs: %s", out)
+	}
+}
+
+func TestOneShotBooleanQuery(t *testing.T) {
+	col := buildCollection(t)
+	var buf bytes.Buffer
+	if err := run(&buf, strings.NewReader(""), []string{"-col", col, "-boolean", "cats AND NOT dogs"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 documents match") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestInteractiveMode(t *testing.T) {
+	col := buildCollection(t)
+	var buf bytes.Buffer
+	stdin := strings.NewReader("fish\n\nswim water\n")
+	if err := run(&buf, stdin, []string{"-col", col, "-show"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "q>") < 3 {
+		t.Fatalf("expected prompts: %s", out)
+	}
+	if !strings.Contains(out, "fish") {
+		t.Fatalf("no fish answer: %s", out)
+	}
+}
+
+func TestQueryFlagsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, strings.NewReader(""), []string{"cats"}); err == nil {
+		t.Fatal("missing -col: want error")
+	}
+	if err := run(&buf, strings.NewReader(""), []string{"-col", "/nonexistent", "cats"}); err == nil {
+		t.Fatal("bad collection: want error")
+	}
+}

@@ -1,0 +1,111 @@
+// Command mgstat prints statistics of a built collection: sizes and
+// compression rates, postings distribution, and the heaviest terms —
+// the numbers behind the paper's storage discussion (§4) for any corpus.
+//
+// Usage:
+//
+//	mgstat -col collection/ [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"teraphim/internal/librarian"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mgstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("mgstat", flag.ContinueOnError)
+	col := fs.String("col", "", "collection directory (required)")
+	top := fs.Int("top", 10, "heaviest terms to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *col == "" {
+		return fmt.Errorf("-col is required")
+	}
+	lib, err := librarian.Load(*col)
+	if err != nil {
+		return err
+	}
+	ix := lib.Engine().Index()
+	st := lib.Store()
+
+	fmt.Fprintf(w, "collection %q\n", lib.Name())
+	fmt.Fprintf(w, "  documents          %12d\n", ix.NumDocs())
+	fmt.Fprintf(w, "  distinct terms     %12d\n", ix.NumTerms())
+	fmt.Fprintf(w, "  postings           %12d\n", ix.NumPostings())
+	if ix.NumDocs() > 0 {
+		fmt.Fprintf(w, "  postings/document  %12.1f\n", float64(ix.NumPostings())/float64(ix.NumDocs()))
+	}
+
+	fmt.Fprintf(w, "storage\n")
+	fmt.Fprintf(w, "  raw text           %12d B\n", st.RawSize())
+	fmt.Fprintf(w, "  compressed text    %12d B (%5.1f%%)\n", st.CompressedSize(), pct(st.CompressedSize(), st.RawSize()))
+	fmt.Fprintf(w, "  inverted index     %12d B (%5.1f%% of text)\n", ix.SizeBytes(), pct(ix.SizeBytes(), st.RawSize()))
+	fmt.Fprintf(w, "  dictionary         %12d B\n", ix.DictSizeBytes())
+	if ix.NumPostings() > 0 {
+		fmt.Fprintf(w, "  bits/posting       %12.2f\n", float64(ix.SizeBytes()*8)/float64(ix.NumPostings()))
+	}
+
+	// Postings-list length distribution: how skewed is the index?
+	type termStat struct {
+		term string
+		ft   uint32
+	}
+	var stats []termStat
+	hist := map[int]int{} // log2 bucket -> count
+	ix.Terms(func(term string, ft uint32) bool {
+		stats = append(stats, termStat{term, ft})
+		bucket := 0
+		if ft > 0 {
+			bucket = int(math.Log2(float64(ft)))
+		}
+		hist[bucket]++
+		return true
+	})
+	fmt.Fprintf(w, "list-length distribution (log2 buckets)\n")
+	var buckets []int
+	for b := range hist {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		lo := 1 << b
+		hi := 1<<(b+1) - 1
+		fmt.Fprintf(w, "  f_t %7d–%-9d %8d terms\n", lo, hi, hist[b])
+	}
+
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].ft != stats[j].ft {
+			return stats[i].ft > stats[j].ft
+		}
+		return stats[i].term < stats[j].term
+	})
+	if *top > len(stats) {
+		*top = len(stats)
+	}
+	fmt.Fprintf(w, "heaviest terms\n")
+	for _, ts := range stats[:*top] {
+		fmt.Fprintf(w, "  %-24s f_t %8d\n", ts.term, ts.ft)
+	}
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"teraphim/internal/librarian"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+)
+
+func buildStatCollection(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "col")
+	lib, err := librarian.Build("stats", []store.Document{
+		{Title: "d0", Text: "alpha alpha alpha beta"},
+		{Title: "d1", Text: "alpha beta gamma"},
+		{Title: "d2", Text: "alpha delta"},
+	}, librarian.BuildOptions{
+		Analyzer: textproc.NewAnalyzer(textproc.WithoutStopwords(), textproc.WithoutStemming()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := librarian.Save(dir, lib, librarian.SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestStatReport(t *testing.T) {
+	col := buildStatCollection(t)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-col", col, "-top", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`collection "stats"`,
+		"documents",
+		"distinct terms",
+		"bits/posting",
+		"heaviest terms",
+		"alpha",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// alpha appears in all 3 docs and must head the heavy list.
+	idx := strings.Index(out, "heaviest terms")
+	if !strings.Contains(out[idx:], "alpha") {
+		t.Fatalf("alpha not in heaviest terms:\n%s", out)
+	}
+}
+
+func TestStatValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil); err == nil {
+		t.Fatal("missing -col: want error")
+	}
+	if err := run(&buf, []string{"-col", "/nonexistent"}); err == nil {
+		t.Fatal("bad collection: want error")
+	}
+}

@@ -1,0 +1,157 @@
+// Command receptionist brokers ranked queries to running librarian servers
+// under the CN, CV or CI methodology.
+//
+// Usage:
+//
+//	receptionist -libs AP=localhost:7001,FR=localhost:7002 [-mode cv] [-k 20] [-fetch]
+//
+// Queries are read from stdin, one per line. CI mode additionally requires
+// -groupdocs pointing at the documents so the grouped central index can be
+// built (the offline preprocessing step); for in-process experimentation
+// prefer cmd/experiments.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"teraphim/internal/core"
+	"teraphim/internal/simnet"
+	"teraphim/internal/textproc"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Stdin, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "receptionist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, stdin io.Reader, args []string) error {
+	fs := flag.NewFlagSet("receptionist", flag.ContinueOnError)
+	libs := fs.String("libs", "", "comma-separated name=host:port librarian list (required)")
+	mode := fs.String("mode", "cv", "methodology: cn or cv")
+	k := fs.Int("k", 20, "number of answers")
+	fetch := fs.Bool("fetch", false, "retrieve and display document text")
+	compressed := fs.Bool("compressed", true, "use compressed document transfer")
+	boolean := fs.Bool("boolean", false, "evaluate queries as Boolean expressions (union across librarians)")
+	noStem := fs.Bool("nostem", false, "disable stemming (must match how the collections were built)")
+	noStop := fs.Bool("nostop", false, "disable stopword removal (must match how the collections were built)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *libs == "" {
+		return fmt.Errorf("-libs is required")
+	}
+	var qmode core.Mode
+	switch strings.ToLower(*mode) {
+	case "cn":
+		qmode = core.ModeCN
+	case "cv":
+		qmode = core.ModeCV
+	default:
+		return fmt.Errorf("unsupported mode %q (cn or cv; see cmd/experiments for ci)", *mode)
+	}
+
+	dialer := simnet.TCPDialer{}
+	var names []string
+	for _, spec := range strings.Split(*libs, ",") {
+		name, addr, found := strings.Cut(spec, "=")
+		if !found {
+			return fmt.Errorf("malformed librarian spec %q", spec)
+		}
+		dialer[name] = addr
+		names = append(names, name)
+	}
+
+	var analyzerOpts []textproc.Option
+	if *noStem {
+		analyzerOpts = append(analyzerOpts, textproc.WithoutStemming())
+	}
+	if *noStop {
+		analyzerOpts = append(analyzerOpts, textproc.WithoutStopwords())
+	}
+	recep, err := core.Connect(dialer, names, core.Config{Analyzer: textproc.NewAnalyzer(analyzerOpts...)})
+	if err != nil {
+		return err
+	}
+	defer recep.Close()
+	fmt.Fprintf(w, "connected to %d librarians, %d documents total\n",
+		len(recep.Librarians()), recep.TotalDocs())
+
+	if qmode == core.ModeCV {
+		if _, err := recep.SetupVocabulary(); err != nil {
+			return err
+		}
+		terms, bytes := recep.VocabularySize()
+		fmt.Fprintf(w, "merged vocabulary: %d terms (%d bytes)\n", terms, bytes)
+	}
+	if *fetch && *compressed {
+		if _, err := recep.SetupModels(); err != nil {
+			return err
+		}
+	}
+
+	scanner := bufio.NewScanner(stdin)
+	fmt.Fprint(w, "query> ")
+	for scanner.Scan() {
+		q := strings.TrimSpace(scanner.Text())
+		if q == "" {
+			fmt.Fprint(w, "query> ")
+			continue
+		}
+		if *boolean {
+			res, err := recep.Boolean(q)
+			if err != nil {
+				fmt.Fprintf(w, "error: %v\n", err)
+			} else {
+				fmt.Fprintf(w, "%d documents match across %d librarians\n",
+					len(res.Answers), res.Trace.LibrariansAsked)
+				show := res.Answers
+				if len(show) > *k {
+					show = show[:*k]
+				}
+				for _, a := range show {
+					fmt.Fprintf(w, "  %s\n", a.Key())
+				}
+			}
+			fmt.Fprint(w, "query> ")
+			continue
+		}
+		res, err := recep.Query(qmode, q, *k, core.Options{Fetch: *fetch, CompressedTransfer: *compressed})
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			fmt.Fprint(w, "query> ")
+			continue
+		}
+		fmt.Fprintf(w, "%d answers from %d librarians (%d candidates merged, %d bytes moved)\n",
+			len(res.Answers), res.Trace.LibrariansAsked,
+			res.Trace.MergeCandidates, res.Trace.BytesTransferred(0))
+		for i, a := range res.Answers {
+			fmt.Fprintf(w, "%3d. %-24s %.4f", i+1, a.Key(), a.Score)
+			if a.Title != "" {
+				fmt.Fprintf(w, "  %s", a.Title)
+			}
+			fmt.Fprintln(w)
+			if *fetch {
+				fmt.Fprintf(w, "     %s\n", firstLine(a.Text))
+			}
+		}
+		fmt.Fprint(w, "query> ")
+	}
+	return scanner.Err()
+}
+
+func firstLine(text string) string {
+	if i := strings.IndexByte(text, '\n'); i >= 0 {
+		text = text[:i]
+	}
+	if len(text) > 120 {
+		text = text[:120] + "..."
+	}
+	return text
+}

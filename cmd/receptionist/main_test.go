@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"teraphim/internal/librarian"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+)
+
+func startFleet(t *testing.T) string {
+	t.Helper()
+	analyzer := textproc.NewAnalyzer(textproc.WithoutStopwords(), textproc.WithoutStemming())
+	var specs []string
+	for name, docs := range map[string][]store.Document{
+		"news": {
+			{Title: "n0", Text: "election results dominated the news"},
+			{Title: "n1", Text: "networks covered the election all night"},
+		},
+		"tech": {
+			{Title: "t0", Text: "distributed networks replicate state"},
+		},
+	} {
+		lib, err := librarian.Build(name, docs, librarian.BuildOptions{Analyzer: analyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := librarian.Serve(lib, ln)
+		t.Cleanup(func() { srv.Close() })
+		specs = append(specs, name+"="+srv.Addr().String())
+	}
+	return strings.Join(specs, ",")
+}
+
+func TestInteractiveCVSession(t *testing.T) {
+	libs := startFleet(t)
+	var buf bytes.Buffer
+	stdin := strings.NewReader("election networks\n\n")
+	if err := run(&buf, stdin, []string{"-libs", libs, "-mode", "cv", "-k", "5", "-fetch", "-nostem", "-nostop"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "connected to 2 librarians") {
+		t.Fatalf("no connection banner:\n%s", out)
+	}
+	if !strings.Contains(out, "merged vocabulary") {
+		t.Fatalf("no CV setup output:\n%s", out)
+	}
+	if !strings.Contains(out, "answers from") || !strings.Contains(out, "news:") {
+		t.Fatalf("no ranked answers:\n%s", out)
+	}
+}
+
+func TestInteractiveBooleanSession(t *testing.T) {
+	libs := startFleet(t)
+	var buf bytes.Buffer
+	stdin := strings.NewReader("election AND networks\n")
+	if err := run(&buf, stdin, []string{"-libs", libs, "-mode", "cn", "-boolean", "-nostem", "-nostop"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "documents match across 2 librarians") {
+		t.Fatalf("no Boolean result:\n%s", out)
+	}
+	if !strings.Contains(out, "news:1") {
+		t.Fatalf("expected news:1 (election AND networks):\n%s", out)
+	}
+}
+
+func TestReceptionistValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, strings.NewReader(""), nil); err == nil {
+		t.Fatal("missing -libs: want error")
+	}
+	if err := run(&buf, strings.NewReader(""), []string{"-libs", "badspec"}); err == nil {
+		t.Fatal("malformed spec: want error")
+	}
+	if err := run(&buf, strings.NewReader(""), []string{"-libs", "a=x", "-mode", "ci"}); err == nil {
+		t.Fatal("unsupported mode: want error")
+	}
+	// Unreachable librarian.
+	if err := run(&buf, strings.NewReader(""), []string{"-libs", "a=127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable librarian: want error")
+	}
+}

@@ -1,0 +1,206 @@
+// Command stress drives concurrent query load at running librarian servers
+// and reports wall-clock throughput and latency percentiles — the
+// multiple-users-at-capacity regime the paper distinguishes from single
+// query response time. Each client runs its own receptionist session, as
+// in TERAPHIM (librarians accept many sessions).
+//
+// Usage:
+//
+//	stress -libs AP=host:7001,FR=host:7002 -queryfile queries.txt \
+//	       [-mode cv] [-clients 8] [-n 200] [-k 20] [-fetch]
+//
+// The query file holds one query per line (cmd/trecgen's queries.tsv also
+// works; the last tab-separated field is used).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"teraphim/internal/core"
+	"teraphim/internal/simnet"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
+	libs := fs.String("libs", "", "comma-separated name=host:port librarian list (required)")
+	queryFile := fs.String("queryfile", "", "file of queries, one per line (required)")
+	mode := fs.String("mode", "cv", "methodology: cn or cv")
+	clients := fs.Int("clients", 8, "concurrent receptionist sessions")
+	n := fs.Int("n", 200, "total queries to issue")
+	k := fs.Int("k", 20, "answers per query")
+	fetch := fs.Bool("fetch", false, "retrieve documents too")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *libs == "" || *queryFile == "" {
+		return fmt.Errorf("-libs and -queryfile are required")
+	}
+	if *clients < 1 || *n < 1 {
+		return fmt.Errorf("-clients and -n must be positive")
+	}
+	var qmode core.Mode
+	switch strings.ToLower(*mode) {
+	case "cn":
+		qmode = core.ModeCN
+	case "cv":
+		qmode = core.ModeCV
+	default:
+		return fmt.Errorf("unsupported mode %q", *mode)
+	}
+
+	queries, err := loadQueries(*queryFile)
+	if err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("no queries in %s", *queryFile)
+	}
+
+	dialer := simnet.TCPDialer{}
+	var names []string
+	for _, spec := range strings.Split(*libs, ",") {
+		name, addr, found := strings.Cut(spec, "=")
+		if !found {
+			return fmt.Errorf("malformed librarian spec %q", spec)
+		}
+		dialer[name] = addr
+		names = append(names, name)
+	}
+
+	report, err := drive(dialer, names, qmode, queries, *clients, *n, *k, *fetch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d queries, %d clients, mode %s\n", report.completed, *clients, strings.ToUpper(*mode))
+	fmt.Fprintf(w, "wall clock      %10.2fs\n", report.elapsed.Seconds())
+	fmt.Fprintf(w, "throughput      %10.1f queries/sec\n", report.throughput)
+	fmt.Fprintf(w, "latency p50     %10.2fms\n", ms(report.p50))
+	fmt.Fprintf(w, "latency p90     %10.2fms\n", ms(report.p90))
+	fmt.Fprintf(w, "latency p99     %10.2fms\n", ms(report.p99))
+	return nil
+}
+
+type report struct {
+	completed     int
+	elapsed       time.Duration
+	throughput    float64
+	p50, p90, p99 time.Duration
+}
+
+// drive runs the benchmark: clients pull query indexes from a shared
+// channel, each with its own receptionist session.
+func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []string,
+	clients, n, k int, fetch bool) (report, error) {
+	work := make(chan int)
+	go func() {
+		defer close(work)
+		for i := 0; i < n; i++ {
+			work <- i
+		}
+	}()
+
+	latencies := make([]time.Duration, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recep, err := core.Connect(dialer, names, core.Config{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer recep.Close()
+			if mode == core.ModeCV {
+				if _, err := recep.SetupVocabulary(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			opts := core.Options{Fetch: fetch, CompressedTransfer: false}
+			for i := range work {
+				qStart := time.Now()
+				if _, err := recep.Query(mode, queries[i%len(queries)], k, opts); err != nil {
+					errs <- fmt.Errorf("query %d: %w", i, err)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(qStart))
+				mu.Unlock()
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return report{}, err
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep := report{completed: len(latencies), elapsed: elapsed}
+	if elapsed > 0 {
+		rep.throughput = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		rep.p50 = percentile(latencies, 50)
+		rep.p90 = percentile(latencies, 90)
+		rep.p99 = percentile(latencies, 99)
+	}
+	return rep, nil
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// loadQueries reads one query per line; for TSV lines the last field is the
+// query text.
+func loadQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if i := strings.LastIndexByte(line, '\t'); i >= 0 {
+			line = line[i+1:]
+		}
+		out = append(out, line)
+	}
+	return out, scanner.Err()
+}

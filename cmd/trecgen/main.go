@@ -1,0 +1,101 @@
+// Command trecgen writes the synthetic TREC-like corpus to disk: one
+// directory of .txt files per subcollection (ready for mgbuild), plus the
+// query sets and relevance judgements in TREC-style flat files.
+//
+// Usage:
+//
+//	trecgen -out corpus/ [-seed 1998] [-scale 1.0]
+//
+// Output layout:
+//
+//	corpus/AP/000000.txt ...      one file per document
+//	corpus/queries.tsv            id<TAB>kind<TAB>text
+//	corpus/qrels.tsv              queryid<TAB>dockey
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"teraphim/internal/trecsynth"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trecgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trecgen", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	seed := fs.Int64("seed", 1998, "generation seed")
+	scale := fs.Float64("scale", 1.0, "corpus size multiplier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	cfg := trecsynth.DefaultConfig()
+	cfg.Seed = *seed
+	for i := range cfg.Subs {
+		cfg.Subs[i].NumDocs = int(float64(cfg.Subs[i].NumDocs) * *scale)
+		if cfg.Subs[i].NumDocs < 1 {
+			cfg.Subs[i].NumDocs = 1
+		}
+	}
+	corpus, err := trecsynth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	total := 0
+	for _, sub := range corpus.Subcollections {
+		dir := filepath.Join(*out, sub.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, d := range sub.Docs {
+			path := filepath.Join(dir, fmt.Sprintf("%06d.txt", d.ID))
+			if err := os.WriteFile(path, []byte(d.Text), 0o644); err != nil {
+				return err
+			}
+		}
+		total += len(sub.Docs)
+		fmt.Fprintf(w, "wrote %s: %d documents\n", dir, len(sub.Docs))
+	}
+
+	var queries strings.Builder
+	for _, q := range corpus.Queries {
+		fmt.Fprintf(&queries, "%s\t%s\t%s\n", q.ID, q.Kind, q.Text)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "queries.tsv"), []byte(queries.String()), 0o644); err != nil {
+		return err
+	}
+
+	var qrels strings.Builder
+	judged := 0
+	for _, qid := range corpus.Qrels.Queries() {
+		for _, sub := range corpus.Subcollections {
+			for _, d := range sub.Docs {
+				key := trecsynth.DocKey(sub.Name, d.ID)
+				if corpus.Qrels.IsRelevant(qid, key) {
+					fmt.Fprintf(&qrels, "%s\t%s\n", qid, key)
+					judged++
+				}
+			}
+		}
+	}
+	if err := os.WriteFile(filepath.Join(*out, "qrels.tsv"), []byte(qrels.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d documents, %d queries, %d relevance judgements\n",
+		total, len(corpus.Queries), judged)
+	return nil
+}

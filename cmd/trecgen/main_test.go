@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateToDisk(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "corpus")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-out", out, "-scale", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"AP", "FR", "WSJ", "ZIFF"} {
+		entries, err := os.ReadDir(filepath.Join(out, sub))
+		if err != nil {
+			t.Fatalf("subcollection %s: %v", sub, err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("subcollection %s empty", sub)
+		}
+	}
+	queries, err := os.ReadFile(filepath.Join(out, "queries.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(queries)), "\n")
+	if len(lines) != 99 {
+		t.Fatalf("queries.tsv has %d lines, want 99", len(lines))
+	}
+	for _, line := range lines[:3] {
+		if parts := strings.SplitN(line, "\t", 3); len(parts) != 3 {
+			t.Fatalf("malformed query line %q", line)
+		}
+	}
+	qrels, err := os.ReadFile(filepath.Join(out, "qrels.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qrels) == 0 {
+		t.Fatal("qrels.tsv empty")
+	}
+	if !strings.Contains(buf.String(), "99 queries") {
+		t.Fatalf("summary: %s", buf.String())
+	}
+}
+
+func TestGenerateRequiresOut(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil); err == nil {
+		t.Fatal("missing -out: want error")
+	}
+}
+
+func TestGenerateDeterministicOnDisk(t *testing.T) {
+	out1 := filepath.Join(t.TempDir(), "c1")
+	out2 := filepath.Join(t.TempDir(), "c2")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-out", out1, "-scale", "0.01", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []string{"-out", out2, "-scale", "0.01", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := os.ReadFile(filepath.Join(out1, "AP", "000000.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := os.ReadFile(filepath.Join(out2, "AP", "000000.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("same seed produced different corpora")
+	}
+}

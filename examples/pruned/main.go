@@ -1,0 +1,85 @@
+// Pruned retrieval: the paper's §5 future-work direction — a
+// frequency-sorted inverted file with per-query thresholding (Persin,
+// Zobel & Sacks-Davis). The example builds both index organisations over
+// one synthetic subcollection, then sweeps the pruning thresholds and
+// shows decoded postings falling while the top answers barely move.
+//
+//	go run ./examples/pruned
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teraphim"
+	"teraphim/internal/trecsynth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := teraphim.DefaultCorpusConfig()
+	cfg.Subs = []trecsynth.SubSpec{{Name: "AP", NumDocs: 1500}}
+	cfg.VocabSize = 4000
+	cfg.NumTopics = 12
+	cfg.NumShortQueries = 3
+	cfg.NumLongQueries = 0
+	corpus, err := teraphim.GenerateCorpus(cfg)
+	if err != nil {
+		return err
+	}
+
+	analyzer := teraphim.NewAnalyzer(teraphim.WithoutStopwords(), teraphim.WithoutStemming())
+	lib, err := teraphim.BuildLibrarianWith("AP", corpus.Subcollections[0].Docs,
+		teraphim.BuildOptions{Analyzer: analyzer})
+	if err != nil {
+		return err
+	}
+	fs, err := teraphim.BuildFreqSorted(lib.Engine())
+	if err != nil {
+		return err
+	}
+	pruned := teraphim.NewPrunedEngine(fs, analyzer)
+	fmt.Printf("document-sorted index: %d bytes; frequency-sorted: %d bytes\n\n",
+		lib.Engine().Index().SizeBytes(), fs.SizeBytes())
+
+	query := corpus.QueriesOf(trecsynth.ShortQuery)[0].Text
+	fmt.Printf("query: %.60s...\n\n", query)
+	fmt.Printf("%-28s %16s %22s\n", "thresholds (insert/add)", "postings read", "top-5 documents")
+	var reference []teraphim.SearchResult
+	for _, th := range []teraphim.Thresholds{
+		{},
+		{Insert: 0.30, Add: 0.20},
+		{Insert: 0.50, Add: 0.40},
+	} {
+		results, stats, err := pruned.Rank(query, 5, th)
+		if err != nil {
+			return err
+		}
+		if reference == nil {
+			reference = results
+		}
+		kept := 0
+		for _, r := range results {
+			for _, ref := range reference {
+				if r.Doc == ref.Doc {
+					kept++
+					break
+				}
+			}
+		}
+		label := "exact (0/0)"
+		if th.Insert > 0 {
+			label = fmt.Sprintf("%.2f / %.2f", th.Insert, th.Add)
+		}
+		fmt.Printf("%-28s %16d %18d/5 kept\n", label, stats.PostingsDecoded, kept)
+	}
+	fmt.Println("\nThresholding reads a fraction of the index; the high-precision head of")
+	fmt.Println("the ranking survives because top documents owe their scores to")
+	fmt.Println("high-frequency matches, which frequency-sorted lists surface first.")
+	return nil
+}

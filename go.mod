@@ -1,0 +1,3 @@
+module teraphim
+
+go 1.22

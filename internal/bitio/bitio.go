@@ -1,0 +1,162 @@
+// Package bitio provides bit-granularity readers and writers used by the
+// compressed-index and compressed-text codecs.
+//
+// Bits are written most-significant-bit first within each byte, matching the
+// layout used by the MG system's compressed inverted files. A Writer
+// accumulates bits into an internal buffer; Bytes returns the padded result.
+// A Reader consumes bits from a byte slice and tracks its position so that
+// skip pointers (byte+bit offsets) can be followed.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the input.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of input")
+
+// Writer accumulates bits MSB-first into a growable byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte // bits accumulated for the in-progress byte
+	ncur uint // number of valid bits in cur (0..7)
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(bit uint) {
+	w.cur = w.cur<<1 | byte(bit&1)
+	w.ncur++
+	if w.ncur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.ncur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// WriteUnary appends v encoded in unary: v one-bits followed by a zero.
+func (w *Writer) WriteUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int {
+	return len(w.buf)*8 + int(w.ncur)
+}
+
+// Bytes flushes the in-progress byte (zero-padded) and returns the buffer.
+// The Writer remains usable; the returned slice aliases internal storage
+// until the next Write call, so callers that keep it must copy.
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	if w.ncur > 0 {
+		out = append(out, w.cur<<(8-w.ncur))
+	}
+	return out
+}
+
+// Reset discards all written bits, retaining allocated capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.ncur = 0, 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int  // next byte index
+	cur  byte // remaining bits of the current byte, left-aligned
+	ncur uint // number of valid bits in cur
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.ncur == 0 {
+		if r.pos >= len(r.data) {
+			return 0, ErrUnexpectedEOF
+		}
+		r.cur = r.data[r.pos]
+		r.pos++
+		r.ncur = 8
+	}
+	bit := uint(r.cur >> 7)
+	r.cur <<= 1
+	r.ncur--
+	return bit, nil
+}
+
+// ReadBits reads n bits (n ≤ 64) and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(bit)
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value: the count of one-bits before a zero.
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// BitPos reports the number of bits consumed so far.
+func (r *Reader) BitPos() int {
+	return r.pos*8 - int(r.ncur)
+}
+
+// SeekBit positions the reader at an absolute bit offset.
+func (r *Reader) SeekBit(bit int) error {
+	if bit < 0 || bit > len(r.data)*8 {
+		return fmt.Errorf("bitio: seek to bit %d outside input of %d bits", bit, len(r.data)*8)
+	}
+	r.pos = bit / 8
+	rem := uint(bit % 8)
+	if rem == 0 {
+		r.cur, r.ncur = 0, 0
+		return nil
+	}
+	r.cur = r.data[r.pos] << rem
+	r.ncur = 8 - rem
+	r.pos++
+	return nil
+}
+
+// Remaining reports the number of unread bits.
+func (r *Reader) Remaining() int {
+	return len(r.data)*8 - r.BitPos()
+}

@@ -1,0 +1,70 @@
+package codec
+
+import (
+	"fmt"
+
+	"teraphim/internal/bitio"
+)
+
+// Posting is one (document, within-document frequency) pair in an inverted
+// list. Doc identifiers are local to a collection and start at 0.
+type Posting struct {
+	Doc uint32
+	FDT uint32 // f_{d,t}: occurrences of the term in the document
+}
+
+// EncodePostings appends the compressed form of postings to w using the MG
+// layout: document gaps Golomb-coded with a parameter derived from the list
+// density, frequencies gamma-coded. Postings must be sorted by Doc with no
+// duplicates. numDocs is the collection size N used to tune the Golomb
+// parameter; it must be greater than the largest Doc.
+func EncodePostings(w *bitio.Writer, postings []Posting, numDocs uint32) error {
+	if len(postings) == 0 {
+		return nil
+	}
+	b := GolombParameter(uint64(numDocs), uint64(len(postings)))
+	prev := int64(-1)
+	for i, p := range postings {
+		gap := int64(p.Doc) - prev
+		if gap <= 0 {
+			return fmt.Errorf("codec: postings not strictly increasing at index %d (doc %d)", i, p.Doc)
+		}
+		if p.Doc >= numDocs {
+			return fmt.Errorf("codec: doc %d outside collection of %d documents", p.Doc, numDocs)
+		}
+		if err := PutGolomb(w, uint64(gap), b); err != nil {
+			return err
+		}
+		if err := PutGamma(w, uint64(p.FDT)); err != nil {
+			return fmt.Errorf("codec: f_dt for doc %d: %w", p.Doc, err)
+		}
+		prev = int64(p.Doc)
+	}
+	return nil
+}
+
+// DecodePostings reads count postings previously written by EncodePostings
+// with the same numDocs, appending them to dst and returning it.
+func DecodePostings(dst []Posting, r *bitio.Reader, count int, numDocs uint32) ([]Posting, error) {
+	if count == 0 {
+		return dst, nil
+	}
+	b := GolombParameter(uint64(numDocs), uint64(count))
+	doc := int64(-1)
+	for i := 0; i < count; i++ {
+		gap, err := Golomb(r, b)
+		if err != nil {
+			return dst, fmt.Errorf("codec: posting %d gap: %w", i, err)
+		}
+		fdt, err := Gamma(r)
+		if err != nil {
+			return dst, fmt.Errorf("codec: posting %d f_dt: %w", i, err)
+		}
+		doc += int64(gap)
+		if doc >= int64(numDocs) {
+			return dst, fmt.Errorf("codec: decoded doc %d outside collection of %d documents", doc, numDocs)
+		}
+		dst = append(dst, Posting{Doc: uint32(doc), FDT: uint32(fdt)})
+	}
+	return dst, nil
+}

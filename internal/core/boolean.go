@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"teraphim/internal/protocol"
+)
+
+// BooleanResult is the outcome of a distributed Boolean query: the union of
+// the per-librarian result sets (§1 of the paper — no global information or
+// score merging is required).
+type BooleanResult struct {
+	// Answers holds matching documents in global-document order, without
+	// scores or text (use Query/Fetch for ranked retrieval with documents).
+	Answers []Answer
+	Trace   Trace
+}
+
+// Boolean evaluates expr at every librarian and unions the result sets.
+func (r *Receptionist) Boolean(expr string) (*BooleanResult, error) {
+	res := &BooleanResult{}
+	res.Trace.Mode = ModeCN // Boolean evaluation is inherently central-nothing
+	res.Trace.LibrariansAsked = len(r.libs)
+	replies, err := r.callParallel(&res.Trace, PhaseRank, r.allNames(), func(string) protocol.Message {
+		return &protocol.BooleanQuery{Expr: expr}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for name, reply := range replies {
+		br, ok := reply.(*protocol.BooleanReply)
+		if !ok {
+			return nil, fmt.Errorf("core: librarian %q answered BooleanQuery with %v", name, reply.Type())
+		}
+		li := r.byName[name]
+		for _, d := range br.Docs {
+			res.Answers = append(res.Answers, Answer{
+				Librarian: name,
+				LocalDoc:  d,
+				GlobalDoc: li.offset + d,
+			})
+		}
+	}
+	sort.Slice(res.Answers, func(i, j int) bool {
+		return res.Answers[i].GlobalDoc < res.Answers[j].GlobalDoc
+	})
+	res.Trace.MergeCandidates = len(res.Answers)
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"teraphim/internal/librarian"
+	"teraphim/internal/protocol"
+	"teraphim/internal/simnet"
+	"teraphim/internal/store"
+)
+
+// haltAfter serves a real librarian for n messages, then slams the
+// connection shut — simulating a mid-session librarian crash.
+func haltAfter(lib *librarian.Librarian, n int) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		client, server := net.Pipe()
+		go func() {
+			defer server.Close()
+			for i := 0; i < n; i++ {
+				msg, _, err := protocol.ReadMessage(server)
+				if err != nil {
+					return
+				}
+				reply := librarianHandle(lib, msg)
+				if _, err := protocol.WriteMessage(server, reply); err != nil {
+					return
+				}
+			}
+		}()
+		return client, nil
+	}
+}
+
+// librarianHandle proxies one message through a real librarian via an
+// internal pipe session.
+func librarianHandle(lib *librarian.Librarian, msg protocol.Message) protocol.Message {
+	c1, c2 := net.Pipe()
+	done := make(chan protocol.Message, 1)
+	go func() {
+		defer c1.Close()
+		_, _ = protocol.WriteMessage(c1, msg)
+		reply, _, err := protocol.ReadMessage(c1)
+		if err != nil {
+			reply = &protocol.ErrorReply{Message: err.Error()}
+		}
+		done <- reply
+	}()
+	_ = lib.ServeConn(c2)
+	c2.Close()
+	return <-done
+}
+
+func buildFailureLibs(t *testing.T) (*librarian.Librarian, *librarian.Librarian) {
+	t.Helper()
+	a := testAnalyzer()
+	good, err := librarian.Build("good", []store.Document{
+		{Title: "g0", Text: "stable reliable librarian serving documents"},
+	}, librarian.BuildOptions{Analyzer: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := librarian.Build("bad", []store.Document{
+		{Title: "b0", Text: "flaky librarian that will crash mid session"},
+	}, librarian.BuildOptions{Analyzer: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return good, bad
+}
+
+func TestLibrarianCrashMidSessionSurfacesError(t *testing.T) {
+	good, bad := buildFailureLibs(t)
+	goodDialer := librarian.NewInProcessDialer([]*librarian.Librarian{good}, simnet.LinkConfig{})
+	dialer := simnet.MapDialer{
+		"good": func() (net.Conn, error) { return goodDialer.Dial("good") },
+		// The bad librarian answers exactly one message (the Hello) and
+		// then dies.
+		"bad": haltAfter(bad, 1),
+	}
+	recep, err := Connect(dialer, []string{"good", "bad"}, Config{Analyzer: testAnalyzer()})
+	if err != nil {
+		t.Fatalf("connect should succeed (Hello is answered): %v", err)
+	}
+	defer recep.Close()
+
+	_, err = recep.Query(ModeCN, "librarian", 5, Options{})
+	if err == nil {
+		t.Fatal("query against crashed librarian: want error")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error should name the failed librarian: %v", err)
+	}
+}
+
+func TestConnectFailsWhenLibrarianUnreachable(t *testing.T) {
+	dialer := simnet.MapDialer{
+		"gone": func() (net.Conn, error) { return nil, errors.New("connection refused") },
+	}
+	if _, err := Connect(dialer, []string{"gone"}, Config{}); err == nil {
+		t.Fatal("unreachable librarian: want error")
+	}
+}
+
+func TestConnectFailsOnGarbageHello(t *testing.T) {
+	dialer := simnet.MapDialer{
+		"garbage": func() (net.Conn, error) {
+			client, server := net.Pipe()
+			go func() {
+				defer server.Close()
+				// Read the Hello, reply with nonsense bytes.
+				if _, _, err := protocol.ReadMessage(server); err != nil {
+					return
+				}
+				_, _ = server.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+			}()
+			return client, nil
+		},
+	}
+	if _, err := Connect(dialer, []string{"garbage"}, Config{}); err == nil {
+		t.Fatal("garbage Hello reply: want error")
+	}
+}
+
+func TestQueryAfterCloseFails(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	f := newFixture(t, corpus, order)
+	// Close underneath, then query.
+	if err := f.recep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.recep.Query(ModeCN, "alpha", 5, Options{}); err == nil {
+		t.Fatal("query on closed receptionist: want error")
+	}
+	// Close is idempotent.
+	if err := f.recep.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupVocabularyAgainstCrashedLibrarian(t *testing.T) {
+	_, bad := buildFailureLibs(t)
+	dialer := simnet.MapDialer{"bad": haltAfter(bad, 1)}
+	recep, err := Connect(dialer, []string{"bad"}, Config{Analyzer: testAnalyzer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recep.Close()
+	if _, err := recep.SetupVocabulary(); err == nil {
+		t.Fatal("vocabulary fetch from crashed librarian: want error")
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	a := testAnalyzer()
+	var libs []*librarian.Librarian
+	for _, name := range order {
+		lib, err := librarian.Build(name, corpus[name], librarian.BuildOptions{Analyzer: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		libs = append(libs, lib)
+	}
+	// Links with 200ms one-way latency: a 20ms query deadline must trip.
+	dialer := librarian.NewInProcessDialer(libs, simnet.LinkConfig{Latency: 200 * time.Millisecond})
+	recep, err := Connect(dialer, order, Config{Analyzer: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		recep.Close()
+		dialer.Wait()
+	}()
+	if _, err := recep.Query(ModeCN, "alpha", 5, Options{Timeout: 20 * time.Millisecond}); err == nil {
+		t.Fatal("20ms deadline over 200ms links: want timeout error")
+	}
+	// Without a deadline (or with a generous one) the same query succeeds.
+	res, err := recep.Query(ModeCN, "alpha", 5, Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("generous deadline: %v", err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers after deadline recovery")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func answerList(name string, offset uint32, scores ...float64) []Answer {
+	out := make([]Answer, len(scores))
+	for i, s := range scores {
+		out[i] = Answer{Librarian: name, LocalDoc: uint32(i), GlobalDoc: offset + uint32(i), Score: s}
+	}
+	return out
+}
+
+func keysOf(answers []Answer) []string {
+	out := make([]string, len(answers))
+	for i, a := range answers {
+		out[i] = a.Key()
+	}
+	return out
+}
+
+func TestFuseFaceValue(t *testing.T) {
+	lists := map[string][]Answer{
+		"A": answerList("A", 0, 0.9, 0.3),
+		"B": answerList("B", 100, 0.7, 0.5),
+	}
+	got := fuse(MergeFaceValue, lists, []string{"A", "B"}, 3)
+	want := []string{"A:0", "B:0", "B:1"}
+	if !reflect.DeepEqual(keysOf(got), want) {
+		t.Fatalf("face value = %v, want %v", keysOf(got), want)
+	}
+}
+
+func TestFuseFaceValueTieBreak(t *testing.T) {
+	lists := map[string][]Answer{
+		"A": answerList("A", 100, 0.5),
+		"B": answerList("B", 0, 0.5),
+	}
+	got := fuse(MergeFaceValue, lists, []string{"A", "B"}, 2)
+	// Equal scores break toward the lower global doc (B at offset 0).
+	if got[0].Librarian != "B" {
+		t.Fatalf("tie break wrong: %v", keysOf(got))
+	}
+}
+
+func TestFuseRoundRobin(t *testing.T) {
+	lists := map[string][]Answer{
+		"A": answerList("A", 0, 0.2, 0.1), // low scores...
+		"B": answerList("B", 100, 0.9),
+	}
+	got := fuse(MergeRoundRobin, lists, []string{"A", "B"}, 3)
+	// Round robin ignores scores: A's first, B's first, A's second.
+	want := []string{"A:0", "B:0", "A:1"}
+	if !reflect.DeepEqual(keysOf(got), want) {
+		t.Fatalf("round robin = %v, want %v", keysOf(got), want)
+	}
+}
+
+func TestFuseRoundRobinExhaustsShortLists(t *testing.T) {
+	lists := map[string][]Answer{
+		"A": answerList("A", 0, 0.9),
+		"B": answerList("B", 100, 0.8, 0.7, 0.6),
+	}
+	got := fuse(MergeRoundRobin, lists, []string{"A", "B"}, 10)
+	want := []string{"A:0", "B:0", "B:1", "B:2"}
+	if !reflect.DeepEqual(keysOf(got), want) {
+		t.Fatalf("round robin = %v, want %v", keysOf(got), want)
+	}
+}
+
+func TestFuseNormalized(t *testing.T) {
+	// Librarian A's scores are inflated 10x; min-max normalisation should
+	// put both on the same scale, so B's best beats A's second.
+	lists := map[string][]Answer{
+		"A": answerList("A", 0, 10.0, 5.0, 2.0),
+		"B": answerList("B", 100, 1.0, 0.5, 0.2),
+	}
+	got := fuse(MergeNormalized, lists, []string{"A", "B"}, 4)
+	// Normalised: A = 1.0, 0.375, 0.0; B = 1.0, 0.375, 0.0.
+	// Ties break by global doc: A:0, B:0, A:1, B:1.
+	want := []string{"A:0", "B:0", "A:1", "B:1"}
+	if !reflect.DeepEqual(keysOf(got), want) {
+		t.Fatalf("normalized = %v, want %v", keysOf(got), want)
+	}
+}
+
+func TestNormalizeSingleAnswer(t *testing.T) {
+	lists := normalizeLists(map[string][]Answer{
+		"A": answerList("A", 0, 42.0),
+		"B": nil,
+	})
+	if lists["A"][0].Score != 1 {
+		t.Fatalf("single answer normalised to %f, want 1", lists["A"][0].Score)
+	}
+	if lists["B"] != nil {
+		t.Fatal("empty list must stay empty")
+	}
+}
+
+func TestMergeStrategyString(t *testing.T) {
+	for s, want := range map[MergeStrategy]string{
+		MergeFaceValue:  "face-value",
+		MergeRoundRobin: "round-robin",
+		MergeNormalized: "normalized",
+	} {
+		if s.String() != want {
+			t.Errorf("String(%d) = %s", int(s), s)
+		}
+	}
+}
+
+func TestCNWithFusionStrategies(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	f := newFixture(t, corpus, order)
+	for _, strategy := range []MergeStrategy{MergeFaceValue, MergeRoundRobin, MergeNormalized} {
+		res, err := f.recep.Query(ModeCN, "alpha federal wallstreet", 9, Options{Merge: strategy})
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		if len(res.Answers) == 0 {
+			t.Fatalf("%v returned nothing", strategy)
+		}
+		seen := map[string]bool{}
+		for _, a := range res.Answers {
+			if seen[a.Key()] {
+				t.Fatalf("%v returned duplicate %s", strategy, a.Key())
+			}
+			seen[a.Key()] = true
+		}
+	}
+	// Round robin must draw its first S answers from distinct librarians
+	// when every librarian has answers.
+	res, err := f.recep.Query(ModeCN, "alpha federal wallstreet", 9, Options{Merge: MergeRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	libs := map[string]bool{}
+	for _, a := range res.Answers[:3] {
+		libs[a.Librarian] = true
+	}
+	if len(libs) != 3 {
+		t.Fatalf("round robin first 3 answers from %d librarians", len(libs))
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"teraphim/internal/protocol"
+)
+
+// queryCN implements Central Nothing: every librarian ranks with its own
+// local statistics; the receptionist merges the kS results with the
+// configured fusion strategy (face value by default, as in the paper).
+func (r *Receptionist) queryCN(res *Result, query string, k int, opts Options) error {
+	names := r.allNames()
+	res.Trace.LibrariansAsked = len(names)
+	replies, err := r.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
+		return &protocol.RankQuery{Query: query, K: uint32(k)}
+	})
+	if err != nil {
+		return err
+	}
+	strategy := opts.Merge
+	if strategy == 0 {
+		strategy = MergeFaceValue
+	}
+	return r.mergeWith(res, replies, k, strategy)
+}
+
+// queryCV implements Central Vocabulary: the receptionist computes global
+// term weights from its merged vocabulary, skips librarians holding none of
+// the query terms, and ships the weights with the query. Librarian scores
+// are then exactly the mono-server scores.
+func (r *Receptionist) queryCV(res *Result, query string, k int) error {
+	weights, err := r.GlobalWeights(query)
+	if err != nil {
+		return err
+	}
+	// Collection selection: a librarian whose vocabulary contains none of
+	// the weighted terms cannot contribute and is not contacted.
+	var names []string
+	for _, li := range r.libs {
+		for term := range weights {
+			if li.vocab[term] > 0 {
+				names = append(names, li.name)
+				break
+			}
+		}
+	}
+	res.Trace.LibrariansAsked = len(names)
+	if len(names) == 0 {
+		res.Answers = nil
+		return nil
+	}
+	replies, err := r.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
+		return &protocol.RankQuery{Query: query, K: uint32(k), Weights: weights}
+	})
+	if err != nil {
+		return err
+	}
+	return r.mergeRankings(res, replies, k)
+}
+
+// queryCI implements Central Index: rank groups on the central grouped
+// index, expand the best k' groups into document ids, have the owning
+// librarians score exactly those documents with global weights, and merge.
+func (r *Receptionist) queryCI(res *Result, query string, k int, opts Options) error {
+	if r.central == nil {
+		return errors.New("core: SetupCentralIndex has not run")
+	}
+	weights, err := r.GlobalWeights(query)
+	if err != nil {
+		return err
+	}
+	kPrime := opts.KPrime
+	if kPrime <= 0 {
+		kPrime = DefaultKPrime
+	}
+	groups, centralStats, err := r.central.RankGroups(query, kPrime)
+	if err != nil {
+		return err
+	}
+	res.Trace.CentralStats = centralStats
+
+	globalDocs := r.central.Expand(groups)
+	// Partition expanded documents by owning librarian.
+	byLib := make(map[string][]uint32)
+	for _, g := range globalDocs {
+		name, local, err := r.ResolveGlobal(g)
+		if err != nil {
+			return err
+		}
+		byLib[name] = append(byLib[name], local)
+	}
+	names := make([]string, 0, len(byLib))
+	for name, docs := range byLib {
+		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+		byLib[name] = docs
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	res.Trace.LibrariansAsked = len(names)
+	if len(names) == 0 {
+		res.Answers = nil
+		return nil
+	}
+	replies, err := r.callParallel(&res.Trace, PhaseRank, names, func(name string) protocol.Message {
+		return &protocol.ScoreDocs{Query: query, Docs: byLib[name], Weights: weights}
+	})
+	if err != nil {
+		return err
+	}
+	return r.mergeRankings(res, replies, k)
+}
+
+// mergeRankings collates per-librarian rankings into the global top k,
+// accepting scores exactly (CV/CI, where weights make them globally
+// comparable).
+func (r *Receptionist) mergeRankings(res *Result, replies map[string]protocol.Message, k int) error {
+	return r.mergeWith(res, replies, k, MergeFaceValue)
+}
+
+// mergeWith collates per-librarian rankings under a fusion strategy.
+func (r *Receptionist) mergeWith(res *Result, replies map[string]protocol.Message, k int, strategy MergeStrategy) error {
+	lists := make(map[string][]Answer, len(replies))
+	total := 0
+	for name, reply := range replies {
+		rr, ok := reply.(*protocol.RankReply)
+		if !ok {
+			return fmt.Errorf("core: librarian %q answered rank phase with %v", name, reply.Type())
+		}
+		li := r.byName[name]
+		answers := make([]Answer, 0, len(rr.Results))
+		for _, sd := range rr.Results {
+			if sd.Score <= 0 {
+				continue
+			}
+			answers = append(answers, Answer{
+				Librarian: name,
+				LocalDoc:  sd.Doc,
+				GlobalDoc: li.offset + sd.Doc,
+				Score:     sd.Score,
+			})
+		}
+		// Librarians return rankings best-first; ScoreDocs replies (CI)
+		// arrive in document order, so restore score order here.
+		sort.SliceStable(answers, func(i, j int) bool { return answers[i].Score > answers[j].Score })
+		lists[name] = answers
+		total += len(answers)
+	}
+	res.Trace.MergeCandidates = total
+	res.Answers = fuse(strategy, lists, r.allNames(), k)
+	return nil
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"teraphim/internal/huffman"
+	"teraphim/internal/index"
+	"teraphim/internal/protocol"
+	"teraphim/internal/simnet"
+	"teraphim/internal/textproc"
+)
+
+// Answer is one document returned to the user: the owning librarian, its
+// local and global ids, the merged similarity score, and (when the fetch
+// phase runs) the document itself.
+type Answer struct {
+	Librarian string
+	LocalDoc  uint32
+	GlobalDoc uint32
+	Score     float64
+	Title     string
+	Text      string
+}
+
+// Key returns the global document identity "librarian:localid" used in
+// qrels and run files.
+func (a Answer) Key() string { return fmt.Sprintf("%s:%d", a.Librarian, a.LocalDoc) }
+
+// Result is a completed query: the merged ranking plus its trace.
+type Result struct {
+	Answers []Answer
+	Trace   Trace
+}
+
+// Options tunes one query evaluation.
+type Options struct {
+	// KPrime is the number of groups the CI methodology expands (the
+	// paper's k'). Zero selects DefaultKPrime.
+	KPrime int
+	// Fetch runs step 4, retrieving document text for the top k.
+	Fetch bool
+	// CompressedTransfer ships documents in compressed form; requires
+	// SetupModels to have run so the receptionist can decompress.
+	CompressedTransfer bool
+	// Merge selects the CN collation strategy (zero = MergeFaceValue, the
+	// paper's behaviour). Ignored by CV and CI, whose scores are already
+	// globally comparable.
+	Merge MergeStrategy
+	// Timeout bounds each librarian exchange within the query; zero means
+	// no deadline. On the paper's WAN, where "the cost of running the WAN
+	// queries varied by as much as a factor of one hundred", a deadline is
+	// what keeps one stuck site from hanging the whole query.
+	Timeout time.Duration
+}
+
+// DefaultKPrime is the paper's default k' for the CI methodology.
+const DefaultKPrime = 100
+
+// libInfo is the receptionist's knowledge of one librarian.
+type libInfo struct {
+	name    string
+	conn    net.Conn
+	numDocs uint32
+	offset  uint32 // global id of this librarian's local doc 0
+
+	vocab map[string]uint32    // term -> local f_t (after SetupVocabulary)
+	model *huffman.TextModel   // document decompressor (after SetupModels)
+	hello *protocol.HelloReply // collection statistics
+}
+
+// Receptionist brokers queries to a fixed set of librarians. It is not safe
+// for concurrent use; run one receptionist per client session, as TERAPHIM
+// does (each librarian accepts many sessions).
+type Receptionist struct {
+	analyzer *textproc.Analyzer
+	libs     []*libInfo
+	byName   map[string]*libInfo
+
+	totalDocs uint32
+	globalFT  map[string]uint32 // merged vocabulary (after SetupVocabulary)
+	central   *GroupedIndex     // CI state (after SetupCentralIndex)
+
+	// timeout applies to librarian exchanges of the query in flight; the
+	// Receptionist is single-session (not safe for concurrent use), so a
+	// plain field suffices.
+	timeout time.Duration
+
+	closed bool
+}
+
+// Config configures a Receptionist.
+type Config struct {
+	// Analyzer must match the librarians' analysis pipeline. Nil selects
+	// the standard pipeline.
+	Analyzer *textproc.Analyzer
+}
+
+// Connect dials the named librarians (in the given order — the order fixes
+// global document numbering) and performs the Hello exchange.
+func Connect(dialer simnet.Dialer, names []string, cfg Config) (*Receptionist, error) {
+	if len(names) == 0 {
+		return nil, errors.New("core: no librarians")
+	}
+	analyzer := cfg.Analyzer
+	if analyzer == nil {
+		analyzer = textproc.NewAnalyzer()
+	}
+	r := &Receptionist{analyzer: analyzer, byName: make(map[string]*libInfo, len(names))}
+	for _, name := range names {
+		conn, err := dialer.Dial(name)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("core: connect %q: %w", name, err)
+		}
+		li := &libInfo{name: name, conn: conn}
+		r.libs = append(r.libs, li)
+		r.byName[name] = li
+	}
+	// Hello exchange establishes sizes and global numbering.
+	var trace Trace
+	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
+		return &protocol.Hello{}
+	})
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	var offset uint32
+	for _, li := range r.libs {
+		hello, ok := replies[li.name].(*protocol.HelloReply)
+		if !ok {
+			r.Close()
+			return nil, fmt.Errorf("core: librarian %q answered Hello with %v", li.name, replies[li.name].Type())
+		}
+		li.hello = hello
+		li.numDocs = hello.NumDocs
+		li.offset = offset
+		offset += hello.NumDocs
+	}
+	r.totalDocs = offset
+	return r, nil
+}
+
+// Close closes every librarian connection.
+func (r *Receptionist) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var firstErr error
+	for _, li := range r.libs {
+		if li.conn == nil {
+			continue
+		}
+		if err := li.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Librarians returns the librarian names in global-numbering order.
+func (r *Receptionist) Librarians() []string { return r.allNames() }
+
+// TotalDocs returns the number of documents across all librarians.
+func (r *Receptionist) TotalDocs() uint32 { return r.totalDocs }
+
+func (r *Receptionist) allNames() []string {
+	names := make([]string, len(r.libs))
+	for i, li := range r.libs {
+		names[i] = li.name
+	}
+	return names
+}
+
+// GlobalDoc converts (librarian, local id) to the global document number.
+func (r *Receptionist) GlobalDoc(name string, local uint32) (uint32, error) {
+	li, ok := r.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown librarian %q", name)
+	}
+	if local >= li.numDocs {
+		return 0, fmt.Errorf("core: doc %d outside %q's %d documents", local, name, li.numDocs)
+	}
+	return li.offset + local, nil
+}
+
+// ResolveGlobal converts a global document number to (librarian, local id).
+func (r *Receptionist) ResolveGlobal(global uint32) (string, uint32, error) {
+	for _, li := range r.libs {
+		if global < li.offset+li.numDocs {
+			return li.name, global - li.offset, nil
+		}
+	}
+	return "", 0, fmt.Errorf("core: global doc %d outside collection of %d", global, r.totalDocs)
+}
+
+// SetupVocabulary performs the CV preprocessing step: fetch each librarian's
+// vocabulary and merge into the global term statistics. The returned trace
+// records the transfer cost. Required before CV or CI queries.
+func (r *Receptionist) SetupVocabulary() (Trace, error) {
+	var trace Trace
+	trace.Mode = ModeCV
+	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
+		return &protocol.VocabRequest{}
+	})
+	if err != nil {
+		return trace, err
+	}
+	r.globalFT = make(map[string]uint32, 4096)
+	for _, li := range r.libs {
+		vr, ok := replies[li.name].(*protocol.VocabReply)
+		if !ok {
+			return trace, fmt.Errorf("core: librarian %q answered VocabRequest with %v", li.name, replies[li.name].Type())
+		}
+		li.vocab = make(map[string]uint32, len(vr.Terms))
+		for _, ts := range vr.Terms {
+			li.vocab[ts.Term] = ts.FT
+			r.globalFT[ts.Term] += ts.FT
+		}
+	}
+	return trace, nil
+}
+
+// VocabularySize returns the number of distinct terms in the merged
+// vocabulary and its approximate storage cost in bytes.
+func (r *Receptionist) VocabularySize() (terms int, bytes uint64) {
+	for t := range r.globalFT {
+		bytes += uint64(len(t)) + 8
+	}
+	return len(r.globalFT), bytes
+}
+
+// SetupModels fetches each librarian's document-compression model, enabling
+// compressed document transfer.
+func (r *Receptionist) SetupModels() (Trace, error) {
+	var trace Trace
+	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
+		return &protocol.ModelRequest{}
+	})
+	if err != nil {
+		return trace, err
+	}
+	for _, li := range r.libs {
+		mr, ok := replies[li.name].(*protocol.ModelReply)
+		if !ok {
+			return trace, fmt.Errorf("core: librarian %q answered ModelRequest with %v", li.name, replies[li.name].Type())
+		}
+		model, err := huffman.UnmarshalTextModel(mr.Model)
+		if err != nil {
+			return trace, fmt.Errorf("core: librarian %q model: %w", li.name, err)
+		}
+		li.model = model
+	}
+	return trace, nil
+}
+
+// SetupCentralIndexRemote performs the CI preprocessing entirely over the
+// wire: fetch every librarian's inverted index, merge them into a grouped
+// central index with groups of groupSize adjacent documents, and install
+// it. The returned trace records the (large) one-time transfer cost the
+// paper's §4 discusses for the CI receptionist.
+func (r *Receptionist) SetupCentralIndexRemote(groupSize int) (Trace, error) {
+	var trace Trace
+	trace.Mode = ModeCI
+	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
+		return &protocol.IndexRequest{}
+	})
+	if err != nil {
+		return trace, err
+	}
+	subIndexes := make([]*index.Index, len(r.libs))
+	offsets := make([]uint32, len(r.libs))
+	for i, li := range r.libs {
+		ir, ok := replies[li.name].(*protocol.IndexReply)
+		if !ok {
+			return trace, fmt.Errorf("core: librarian %q answered IndexRequest with %v", li.name, replies[li.name].Type())
+		}
+		ix, err := index.ReadFrom(bytes.NewReader(ir.Data))
+		if err != nil {
+			return trace, fmt.Errorf("core: librarian %q index: %w", li.name, err)
+		}
+		if ix.NumDocs() != li.numDocs {
+			return trace, fmt.Errorf("core: librarian %q shipped index of %d docs, expected %d",
+				li.name, ix.NumDocs(), li.numDocs)
+		}
+		subIndexes[i] = ix
+		offsets[i] = li.offset
+	}
+	grouped, err := BuildGroupedFromIndexes(subIndexes, offsets, r.totalDocs, groupSize, r.analyzer)
+	if err != nil {
+		return trace, err
+	}
+	r.central = grouped
+	return trace, nil
+}
+
+// SetupCentralIndex installs the grouped central index for CI queries. The
+// grouped index must have been built over the same documents in the same
+// global order (see BuildGrouped); this is the offline "merge the
+// subcollection indexes" preprocessing the paper describes.
+func (r *Receptionist) SetupCentralIndex(g *GroupedIndex) error {
+	if g == nil {
+		return errors.New("core: nil grouped index")
+	}
+	if g.totalDocs != r.totalDocs {
+		return fmt.Errorf("core: grouped index covers %d docs, receptionist %d", g.totalDocs, r.totalDocs)
+	}
+	r.central = g
+	return nil
+}
+
+// GlobalWeights computes the merged-vocabulary query weights
+// w_{q,t} = log(f_{q,t}+1)·log(N/f_t+1) with N and f_t global. Requires
+// SetupVocabulary.
+func (r *Receptionist) GlobalWeights(query string) (map[string]float64, error) {
+	if r.globalFT == nil {
+		return nil, errors.New("core: SetupVocabulary has not run")
+	}
+	terms := r.analyzer.Terms(nil, query)
+	freqs := make(map[string]uint32, len(terms))
+	for _, t := range terms {
+		freqs[t]++
+	}
+	weights := make(map[string]float64, len(freqs))
+	n := float64(r.totalDocs)
+	for t, fqt := range freqs {
+		ft := r.globalFT[t]
+		if ft == 0 {
+			continue
+		}
+		weights[t] = math.Log(float64(fqt)+1) * math.Log(n/float64(ft)+1)
+	}
+	return weights, nil
+}
+
+// Query evaluates a ranked query under the given methodology, returning the
+// top k answers merged across librarians.
+func (r *Receptionist) Query(mode Mode, query string, k int, opts Options) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	res := &Result{}
+	res.Trace.Mode = mode
+	r.timeout = opts.Timeout
+	defer func() { r.timeout = 0 }()
+	var err error
+	switch mode {
+	case ModeCN:
+		err = r.queryCN(res, query, k, opts)
+	case ModeCV:
+		err = r.queryCV(res, query, k)
+	case ModeCI:
+		err = r.queryCI(res, query, k, opts)
+	default:
+		return nil, fmt.Errorf("core: receptionist cannot evaluate mode %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Fetch {
+		if err := r.fetchAnswers(res, opts.CompressedTransfer); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// callParallel sends one request to each named librarian concurrently and
+// waits for all replies, appending Call records to trace. An ErrorReply from
+// a librarian is surfaced as a *protocol.RemoteError.
+func (r *Receptionist) callParallel(trace *Trace, phase Phase, names []string, makeReq func(name string) protocol.Message) (map[string]protocol.Message, error) {
+	type outcome struct {
+		name  string
+		call  Call
+		reply protocol.Message
+		err   error
+	}
+	results := make(chan outcome, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		li, ok := r.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown librarian %q", name)
+		}
+		req := makeReq(name)
+		wg.Add(1)
+		go func(li *libInfo, req protocol.Message) {
+			defer wg.Done()
+			out := outcome{name: li.name}
+			out.call = Call{Librarian: li.name, Phase: phase, ReqType: req.Type()}
+			if r.timeout > 0 {
+				// Deadline errors surface from the read/write below.
+				_ = li.conn.SetDeadline(time.Now().Add(r.timeout))
+				defer func() { _ = li.conn.SetDeadline(time.Time{}) }()
+			}
+			wrote, err := protocol.WriteMessage(li.conn, req)
+			out.call.ReqBytes = wrote
+			if err != nil {
+				out.err = err
+				results <- out
+				return
+			}
+			reply, read, err := protocol.ReadMessage(li.conn)
+			out.call.RespBytes = read
+			if err != nil {
+				out.err = err
+				results <- out
+				return
+			}
+			switch m := reply.(type) {
+			case *protocol.ErrorReply:
+				out.err = &protocol.RemoteError{Message: m.Message}
+			case *protocol.RankReply:
+				out.call.LibStats = m.Stats
+				out.reply = reply
+			case *protocol.BooleanReply:
+				out.call.LibStats = m.Stats
+				out.reply = reply
+			case *protocol.FetchReply:
+				out.call.DocsFetched = len(m.Docs)
+				for _, d := range m.Docs {
+					out.call.DocBytes += len(d.Data)
+				}
+				out.reply = reply
+			default:
+				out.reply = reply
+			}
+			results <- out
+		}(li, req)
+	}
+	wg.Wait()
+	close(results)
+
+	replies := make(map[string]protocol.Message, len(names))
+	var firstErr error
+	for out := range results {
+		trace.Calls = append(trace.Calls, out.call)
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: librarian %q: %w", out.name, out.err)
+			}
+			continue
+		}
+		replies[out.name] = out.reply
+	}
+	// Keep trace ordering deterministic for tests and cost accounting.
+	sort.SliceStable(trace.Calls, func(i, j int) bool {
+		if trace.Calls[i].Phase != trace.Calls[j].Phase {
+			return trace.Calls[i].Phase < trace.Calls[j].Phase
+		}
+		return trace.Calls[i].Librarian < trace.Calls[j].Librarian
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return replies, nil
+}
+
+// fetchAnswers runs the document-retrieval phase for res.Answers in place.
+func (r *Receptionist) fetchAnswers(res *Result, compressed bool) error {
+	// Group requested docs by librarian; requests are sent in one block per
+	// librarian, per the paper's "documents should be bundled into blocks"
+	// finding.
+	byLib := make(map[string][]uint32)
+	for _, a := range res.Answers {
+		byLib[a.Librarian] = append(byLib[a.Librarian], a.LocalDoc)
+	}
+	names := make([]string, 0, len(byLib))
+	for name, docs := range byLib {
+		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+		byLib[name] = docs
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+	replies, err := r.callParallel(&res.Trace, PhaseFetch, names, func(name string) protocol.Message {
+		return &protocol.FetchDocs{Docs: byLib[name], Compressed: compressed}
+	})
+	if err != nil {
+		return err
+	}
+	texts := make(map[string]protocol.DocBlob)
+	for name, reply := range replies {
+		fr, ok := reply.(*protocol.FetchReply)
+		if !ok {
+			return fmt.Errorf("core: librarian %q answered FetchDocs with %v", name, reply.Type())
+		}
+		for _, blob := range fr.Docs {
+			texts[fmt.Sprintf("%s:%d", name, blob.Doc)] = blob
+		}
+	}
+	for i := range res.Answers {
+		a := &res.Answers[i]
+		blob, ok := texts[a.Key()]
+		if !ok {
+			return fmt.Errorf("core: librarian %q did not return doc %d", a.Librarian, a.LocalDoc)
+		}
+		a.Title = blob.Title
+		if blob.Compressed {
+			li := r.byName[a.Librarian]
+			if li.model == nil {
+				return fmt.Errorf("core: compressed transfer from %q but SetupModels has not run", a.Librarian)
+			}
+			text, err := li.model.DecompressDoc(blob.Data)
+			if err != nil {
+				return fmt.Errorf("core: decompress %s: %w", a.Key(), err)
+			}
+			a.Text = text
+		} else {
+			a.Text = string(blob.Data)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package core implements the paper's contribution: the receptionist that
+// brokers ranked queries to independent librarians under the three federated
+// methodologies — Central Nothing (CN), Central Vocabulary (CV) and Central
+// Index (CI) — plus a mono-server (MS) baseline wrapper.
+//
+// Every query records a Trace of the protocol exchange (message sizes,
+// round trips, librarian-side evaluation statistics). Traces feed package
+// costmodel, which converts them into elapsed-time estimates for the
+// mono-disk / multi-disk / LAN / WAN configurations of Tables 3 and 4.
+package core
+
+import (
+	"fmt"
+
+	"teraphim/internal/protocol"
+	"teraphim/internal/search"
+)
+
+// Mode selects the distributed methodology for a query.
+type Mode int
+
+// Methodologies. ModeMS is handled by MonoServer; the receptionist accepts
+// the other three.
+const (
+	ModeMS Mode = iota + 1
+	ModeCN
+	ModeCV
+	ModeCI
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeMS:
+		return "MS"
+	case ModeCN:
+		return "CN"
+	case ModeCV:
+		return "CV"
+	case ModeCI:
+		return "CI"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Phase labels the stage of query evaluation a call belongs to, matching the
+// numbered steps of §3 of the paper.
+type Phase int
+
+// Phases of query evaluation.
+const (
+	PhaseSetup Phase = iota + 1 // establishing parameters (vocab, models)
+	PhaseRank                   // steps 1–3: query shipping and ranking
+	PhaseFetch                  // step 4: document retrieval
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseSetup:
+		return "setup"
+	case PhaseRank:
+		return "rank"
+	case PhaseFetch:
+		return "fetch"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Call records one request/response exchange with a librarian.
+type Call struct {
+	Librarian string
+	Phase     Phase
+	ReqType   protocol.MsgType
+	ReqBytes  int
+	RespBytes int
+
+	// LibStats is the librarian-side evaluation work (rank/score calls).
+	LibStats search.Stats
+	// DocsFetched and DocBytes describe fetch traffic.
+	DocsFetched int
+	DocBytes    int
+}
+
+// Trace is the complete record of one query's distributed evaluation.
+type Trace struct {
+	Mode  Mode
+	Calls []Call
+
+	// CentralStats is receptionist-side index work (CI group ranking; zero
+	// otherwise).
+	CentralStats search.Stats
+	// MergeCandidates is the number of scored documents merged centrally.
+	MergeCandidates int
+	// LibrariansAsked counts librarians contacted in the rank phase.
+	LibrariansAsked int
+
+	// LocalDocsFetched and LocalDocBytes account for documents the MS
+	// baseline reads from its own disk (no network involved).
+	LocalDocsFetched int
+	LocalDocBytes    int
+}
+
+// RoundTrips counts request/response exchanges in the given phase (all
+// phases when phase is 0). Calls to distinct librarians within a phase
+// happen in parallel; this count is total message-pair volume, not depth.
+func (t *Trace) RoundTrips(phase Phase) int {
+	n := 0
+	for _, c := range t.Calls {
+		if phase == 0 || c.Phase == phase {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesTransferred sums request+response bytes in the given phase (all
+// phases when phase is 0).
+func (t *Trace) BytesTransferred(phase Phase) int {
+	n := 0
+	for _, c := range t.Calls {
+		if phase == 0 || c.Phase == phase {
+			n += c.ReqBytes + c.RespBytes
+		}
+	}
+	return n
+}
+
+// LibrarianWork aggregates librarian-side evaluation statistics, the
+// "overall use of resources" quantity the paper's efficiency analysis
+// discusses.
+func (t *Trace) LibrarianWork() search.Stats {
+	var total search.Stats
+	for _, c := range t.Calls {
+		total.Add(c.LibStats)
+	}
+	return total
+}

@@ -1,0 +1,86 @@
+package costmodel
+
+import (
+	"time"
+
+	"teraphim/internal/simdisk"
+)
+
+// The four deployment configurations of the paper's §4 efficiency
+// experiments. Librarian names follow the TREC subcollections; the WAN
+// placement matches the paper: ZIFF in Canberra, AP in Brisbane, FR in
+// Hamilton (Waikato), WSJ in Tel Aviv, receptionist in Melbourne.
+
+// WANSites maps each librarian to its measured one-packet round-trip time
+// (Table 2 of the paper).
+var WANSites = map[string]time.Duration{
+	"FR":   760 * time.Millisecond,  // Waikato, 13 hops
+	"ZIFF": 180 * time.Millisecond,  // Canberra, 14 hops
+	"AP":   140 * time.Millisecond,  // Brisbane, 16 hops
+	"WSJ":  1040 * time.Millisecond, // Israel, 28 hops
+}
+
+// WANHops records the hop counts of Table 2 for reporting.
+var WANHops = map[string]int{
+	"FR":   13,
+	"ZIFF": 14,
+	"AP":   16,
+	"WSJ":  28,
+}
+
+// MonoDisk is a single machine with every collection on one spindle: the
+// paper's worst case, where librarians interfere on the disk head.
+func MonoDisk() Config {
+	return Config{
+		Name:        "mono-disk",
+		DefaultLink: Link{RTT: 200 * time.Microsecond, Bandwidth: 200 << 20},
+		Disk:        simdisk.Era1995(),
+		SharedDisk:  true,
+		CPU:         Era1995CPU(),
+	}
+}
+
+// MultiDisk is a single machine with each collection on its own locally
+// mounted drive, removing disk contention.
+func MultiDisk() Config {
+	return Config{
+		Name:        "multi-disk",
+		DefaultLink: Link{RTT: 200 * time.Microsecond, Bandwidth: 200 << 20},
+		Disk:        simdisk.Era1995(),
+		CPU:         Era1995CPU(),
+	}
+}
+
+// LAN places the librarians on separate machines on a shared 10-megabit
+// ethernet.
+func LAN() Config {
+	return Config{
+		Name:        "LAN",
+		DefaultLink: Link{RTT: 2 * time.Millisecond, Bandwidth: 1 << 20, RTTsPerCall: 1},
+		Disk:        simdisk.Era1995(),
+		CPU:         Era1995CPU(),
+	}
+}
+
+// WAN places librarians at the paper's four remote sites, with per-site
+// round-trip times from Table 2 and long-haul bandwidth typical of
+// mid-1990s international links. RTTsPerCall charges three round trips per
+// exchange for connection handshaking and TCP slow start.
+func WAN() Config {
+	links := make(map[string]Link, len(WANSites))
+	for name, rtt := range WANSites {
+		links[name] = Link{RTT: rtt, Bandwidth: 64 << 10, RTTsPerCall: 3}
+	}
+	return Config{
+		Name:        "WAN",
+		DefaultLink: Link{RTT: 500 * time.Millisecond, Bandwidth: 64 << 10, RTTsPerCall: 3},
+		Links:       links,
+		Disk:        simdisk.Era1995(),
+		CPU:         Era1995CPU(),
+	}
+}
+
+// AllConfigs returns the four configurations in the paper's table order.
+func AllConfigs() []Config {
+	return []Config{MonoDisk(), MultiDisk(), LAN(), WAN()}
+}

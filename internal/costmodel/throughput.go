@@ -1,0 +1,128 @@
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"teraphim/internal/core"
+)
+
+// The paper distinguishes response time from resource use: "response time
+// measures the minimum delay a user will experience, even on a lightly
+// loaded system, whereas resource use is an indication (in an inverse
+// sense) of the overall query throughput possible with the system when it
+// is operating at capacity, with multiple users and queries competing for
+// resources."
+//
+// Throughput models exactly that: with an unbounded stream of queries, each
+// physical resource (a site's CPU, a spindle, a network link) is busy for
+// some seconds per query; at capacity, the most heavily used resource
+// saturates first and its busy time per query bounds system throughput.
+
+// Utilisation reports one resource's busy time per query.
+type Utilisation struct {
+	Resource string
+	PerQuery time.Duration
+}
+
+// ThroughputReport is the capacity analysis of one workload under one
+// configuration.
+type ThroughputReport struct {
+	// QueriesPerSecond is the saturation throughput: the reciprocal of the
+	// bottleneck resource's busy time per query.
+	QueriesPerSecond float64
+	// Bottleneck is the saturating resource.
+	Bottleneck string
+	// PerMachine divides throughput by the number of active machines, the
+	// "is distribution efficient?" number: the paper's answer is that it
+	// is not, because every librarian repeats dictionary and list work.
+	PerMachine float64
+	// Utilisations lists all resources, most loaded first.
+	Utilisations []Utilisation
+}
+
+// Throughput derives the capacity of a deployment from the average per-query
+// resource demands of a trace set. Machines are the librarian sites plus
+// the receptionist (for MS traces, the single server).
+func Throughput(cfg Config, traces []*core.Trace) (ThroughputReport, error) {
+	if len(traces) == 0 {
+		return ThroughputReport{}, fmt.Errorf("costmodel: no traces")
+	}
+	if err := cfg.Disk.Validate(); err != nil {
+		return ThroughputReport{}, fmt.Errorf("costmodel: %w", err)
+	}
+	n := time.Duration(len(traces))
+
+	cpuBusy := map[string]time.Duration{}  // per site
+	diskBusy := map[string]time.Duration{} // per spindle
+	var netBytes int
+	central := "receptionist"
+
+	for _, trace := range traces {
+		for _, call := range trace.Calls {
+			site := call.Librarian
+			cpuBusy[site] += libCPU(cfg, call)
+			spindle := site
+			if cfg.SharedDisk {
+				spindle = "shared-disk"
+			}
+			diskBusy[spindle] += libDisk(cfg, call, cfg.SharedDisk)
+			netBytes += call.ReqBytes + call.RespBytes
+		}
+		// Receptionist / mono-server work.
+		cpuBusy[central] += centralTime(cfg, trace)
+		if trace.LocalDocsFetched > 0 {
+			spindle := central
+			if cfg.SharedDisk {
+				spindle = "shared-disk"
+			}
+			diskBusy[spindle] += cfg.Disk.AccessTime(trace.LocalDocsFetched, uint64(trace.LocalDocBytes))
+		}
+	}
+
+	var utils []Utilisation
+	for site, busy := range cpuBusy {
+		if busy > 0 {
+			utils = append(utils, Utilisation{Resource: "cpu:" + site, PerQuery: busy / n})
+		}
+	}
+	for spindle, busy := range diskBusy {
+		if busy > 0 {
+			utils = append(utils, Utilisation{Resource: "disk:" + spindle, PerQuery: busy / n})
+		}
+	}
+	// The network is modelled as one shared segment (the paper's common
+	// ethernet cable / receptionist uplink): transmission time per query.
+	if bw := cfg.DefaultLink.Bandwidth; bw > 0 && netBytes > 0 {
+		perQuery := time.Duration(float64(netBytes) / float64(len(traces)) / bw * float64(time.Second))
+		utils = append(utils, Utilisation{Resource: "network", PerQuery: perQuery})
+	}
+	if len(utils) == 0 {
+		return ThroughputReport{}, fmt.Errorf("costmodel: traces carry no resource usage")
+	}
+	sortUtilisations(utils)
+
+	machines := map[string]bool{}
+	for site := range cpuBusy {
+		machines[site] = true
+	}
+	report := ThroughputReport{
+		Bottleneck:   utils[0].Resource,
+		Utilisations: utils,
+	}
+	if utils[0].PerQuery > 0 {
+		report.QueriesPerSecond = float64(time.Second) / float64(utils[0].PerQuery)
+	}
+	if len(machines) > 0 {
+		report.PerMachine = report.QueriesPerSecond / float64(len(machines))
+	}
+	return report, nil
+}
+
+func sortUtilisations(utils []Utilisation) {
+	for i := 1; i < len(utils); i++ {
+		for j := i; j > 0 && utils[j].PerQuery > utils[j-1].PerQuery; j-- {
+			utils[j], utils[j-1] = utils[j-1], utils[j]
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"teraphim/internal/core"
+	"teraphim/internal/search"
+)
+
+func TestThroughputBasics(t *testing.T) {
+	traces := []*core.Trace{sampleTrace(), sampleTrace()}
+	report, err := Throughput(MultiDisk(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.QueriesPerSecond <= 0 {
+		t.Fatalf("throughput %f not positive", report.QueriesPerSecond)
+	}
+	if report.Bottleneck == "" || len(report.Utilisations) == 0 {
+		t.Fatalf("report incomplete: %+v", report)
+	}
+	// Utilisations sorted most-loaded first.
+	for i := 1; i < len(report.Utilisations); i++ {
+		if report.Utilisations[i].PerQuery > report.Utilisations[i-1].PerQuery {
+			t.Fatal("utilisations not sorted")
+		}
+	}
+	if report.PerMachine <= 0 || report.PerMachine > report.QueriesPerSecond {
+		t.Fatalf("per-machine %f vs total %f", report.PerMachine, report.QueriesPerSecond)
+	}
+}
+
+func TestThroughputSharedDiskBottleneck(t *testing.T) {
+	// On one spindle the disk aggregates all librarians' accesses and
+	// should saturate before any single CPU does.
+	report, err := Throughput(MonoDisk(), []*core.Trace{sampleTrace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(report.Bottleneck, "disk:shared-disk") {
+		t.Fatalf("mono-disk bottleneck = %s, want the shared spindle", report.Bottleneck)
+	}
+	multi, err := Throughput(MultiDisk(), []*core.Trace{sampleTrace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.QueriesPerSecond <= report.QueriesPerSecond {
+		t.Fatalf("multi-disk throughput %f not above mono-disk %f",
+			multi.QueriesPerSecond, report.QueriesPerSecond)
+	}
+}
+
+// TestDistributionHurtsPerMachineThroughput pins the paper's efficiency
+// conclusion quantitatively: an MS deployment answers more queries per
+// machine than a CN deployment doing the same work split four ways, because
+// the librarians repeat per-list overheads.
+func TestDistributionHurtsPerMachineThroughput(t *testing.T) {
+	cfg := MultiDisk()
+	// MS: all work on one machine.
+	msTrace := &core.Trace{
+		Mode: core.ModeMS,
+		CentralStats: search.Stats{
+			TermsLooked: 5, ListsFetched: 5,
+			PostingsDecoded: 43000, IndexBytesRead: 11000, CandidateDocs: 4000,
+		},
+		MergeCandidates: 20,
+	}
+	ms, err := Throughput(cfg, []*core.Trace{msTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CN: the same postings split across four librarians, but each fetches
+	// its own copy of the five lists.
+	stats := func() search.Stats {
+		return search.Stats{
+			TermsLooked: 5, ListsFetched: 5,
+			PostingsDecoded: 43000 / 4, IndexBytesRead: 11000 / 4, CandidateDocs: 1000,
+		}
+	}
+	cnTrace := &core.Trace{Mode: core.ModeCN, MergeCandidates: 80}
+	for _, name := range []string{"AP", "FR", "WSJ", "ZIFF"} {
+		cnTrace.Calls = append(cnTrace.Calls, core.Call{
+			Librarian: name, Phase: core.PhaseRank,
+			ReqBytes: 100, RespBytes: 600, LibStats: stats(),
+		})
+	}
+	cn, err := Throughput(cfg, []*core.Trace{cnTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.PerMachine >= ms.PerMachine {
+		t.Fatalf("CN per-machine throughput %f not below MS %f (resource repetition must cost)",
+			cn.PerMachine, ms.PerMachine)
+	}
+	t.Logf("MS %.1f q/s on 1 machine; CN %.1f q/s on 5 machines (%.1f per machine)",
+		ms.QueriesPerSecond, cn.QueriesPerSecond, cn.PerMachine)
+}
+
+func TestThroughputValidation(t *testing.T) {
+	if _, err := Throughput(MultiDisk(), nil); err == nil {
+		t.Fatal("no traces: want error")
+	}
+	bad := MultiDisk()
+	bad.Disk.Seek = -time.Second
+	if _, err := Throughput(bad, []*core.Trace{sampleTrace()}); err == nil {
+		t.Fatal("bad disk: want error")
+	}
+	if _, err := Throughput(MultiDisk(), []*core.Trace{{}}); err == nil {
+		t.Fatal("empty trace: want error")
+	}
+}

@@ -1,0 +1,165 @@
+// Package eval implements the retrieval-effectiveness measures used in the
+// paper's Table 1: interpolated 11-point average recall-precision over 1000
+// retrieved documents, and the number of relevant documents among the top 20
+// returned ("precision at one screen of titles").
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Qrels holds relevance judgements: for each query id, the set of relevant
+// document identifiers. Document identity is an opaque string so that
+// distributed (collection, docid) pairs and mono-server ids can both be
+// used.
+type Qrels struct {
+	rel map[string]map[string]bool
+}
+
+// NewQrels returns an empty judgement set.
+func NewQrels() *Qrels {
+	return &Qrels{rel: make(map[string]map[string]bool)}
+}
+
+// Judge marks doc as relevant for query.
+func (q *Qrels) Judge(query, doc string) {
+	m, ok := q.rel[query]
+	if !ok {
+		m = make(map[string]bool)
+		q.rel[query] = m
+	}
+	m[doc] = true
+}
+
+// IsRelevant reports whether doc is judged relevant for query.
+func (q *Qrels) IsRelevant(query, doc string) bool {
+	return q.rel[query][doc]
+}
+
+// NumRelevant returns the number of documents judged relevant for query.
+func (q *Qrels) NumRelevant(query string) int {
+	return len(q.rel[query])
+}
+
+// Queries returns the judged query ids in sorted order.
+func (q *Qrels) Queries() []string {
+	out := make([]string, 0, len(q.rel))
+	for id := range q.rel {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run is the ranked answer list one system returned for one query, best
+// first.
+type Run []string
+
+// ElevenPointAverage computes the TREC interpolated 11-point average
+// precision of a run: precision interpolated at recall 0.0, 0.1, ..., 1.0,
+// averaged. The run should be truncated to the evaluation depth (the paper
+// uses 1000) by the caller. Returns 0 when the query has no relevant
+// documents.
+func ElevenPointAverage(qrels *Qrels, query string, run Run) float64 {
+	totalRel := qrels.NumRelevant(query)
+	if totalRel == 0 {
+		return 0
+	}
+	// precision/recall after each retrieved relevant doc.
+	type point struct{ recall, precision float64 }
+	points := make([]point, 0, totalRel)
+	found := 0
+	for i, doc := range run {
+		if qrels.IsRelevant(query, doc) {
+			found++
+			points = append(points, point{
+				recall:    float64(found) / float64(totalRel),
+				precision: float64(found) / float64(i+1),
+			})
+		}
+	}
+	// Interpolated precision at recall r: max precision at any recall >= r.
+	var sum float64
+	for i := 0; i <= 10; i++ {
+		r := float64(i) / 10
+		best := 0.0
+		for _, p := range points {
+			if p.recall >= r-1e-12 && p.precision > best {
+				best = p.precision
+			}
+		}
+		sum += best
+	}
+	return sum / 11
+}
+
+// PrecisionAt returns the fraction of the first k results that are relevant.
+func PrecisionAt(qrels *Qrels, query string, run Run, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return float64(RelevantIn(qrels, query, run, k)) / float64(k)
+}
+
+// RelevantIn counts relevant documents among the first k results — the
+// paper's "relevant docs in top 20" column.
+func RelevantIn(qrels *Qrels, query string, run Run, k int) int {
+	if k > len(run) {
+		k = len(run)
+	}
+	n := 0
+	for _, doc := range run[:k] {
+		if qrels.IsRelevant(query, doc) {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary aggregates effectiveness over a query set.
+type Summary struct {
+	Queries         int
+	ElevenPtAvg     float64 // mean interpolated 11-pt average, as a percentage
+	MeanRelevantTop float64 // mean relevant docs in top `TopK`
+	TopK            int
+}
+
+// String renders the summary in the paper's Table 1 style.
+func (s Summary) String() string {
+	return fmt.Sprintf("11-pt avg %.2f%%, relevant in top %d: %.1f (over %d queries)",
+		s.ElevenPtAvg, s.TopK, s.MeanRelevantTop, s.Queries)
+}
+
+// Evaluate scores a set of runs (query id -> ranked docs) against qrels,
+// with the 11-point measure computed over at most depth retrieved documents
+// and the relevant-in-top count over topK. Following trec_eval practice,
+// the evaluated query set is the run file's: every query with a run is
+// scored (an empty run scores zero), and queries without relevance
+// judgements are skipped.
+func Evaluate(qrels *Qrels, runs map[string]Run, depth, topK int) Summary {
+	s := Summary{TopK: topK}
+	queries := make([]string, 0, len(runs))
+	for q := range runs {
+		queries = append(queries, q)
+	}
+	sort.Strings(queries)
+	var sum11, sumTop float64
+	for _, query := range queries {
+		if qrels.NumRelevant(query) == 0 {
+			continue
+		}
+		run := runs[query]
+		if len(run) > depth {
+			run = run[:depth]
+		}
+		s.Queries++
+		sum11 += ElevenPointAverage(qrels, query, run)
+		sumTop += float64(RelevantIn(qrels, query, run, topK))
+	}
+	if s.Queries > 0 {
+		s.ElevenPtAvg = 100 * sum11 / float64(s.Queries)
+		s.MeanRelevantTop = sumTop / float64(s.Queries)
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func judgeAll(q *Qrels, query string, docs ...string) {
+	for _, d := range docs {
+		q.Judge(query, d)
+	}
+}
+
+func TestQrelsBasics(t *testing.T) {
+	q := NewQrels()
+	judgeAll(q, "q1", "a", "b")
+	q.Judge("q2", "c")
+	if !q.IsRelevant("q1", "a") || q.IsRelevant("q1", "c") {
+		t.Fatal("IsRelevant wrong")
+	}
+	if q.NumRelevant("q1") != 2 || q.NumRelevant("q3") != 0 {
+		t.Fatal("NumRelevant wrong")
+	}
+	if got := q.Queries(); !reflect.DeepEqual(got, []string{"q1", "q2"}) {
+		t.Fatalf("Queries = %v", got)
+	}
+}
+
+func TestPerfectRun(t *testing.T) {
+	q := NewQrels()
+	judgeAll(q, "q", "a", "b", "c")
+	run := Run{"a", "b", "c"}
+	if got := ElevenPointAverage(q, "q", run); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("perfect run 11pt = %f, want 1.0", got)
+	}
+	if got := RelevantIn(q, "q", run, 20); got != 3 {
+		t.Fatalf("RelevantIn = %d, want 3", got)
+	}
+	if got := PrecisionAt(q, "q", run, 3); got != 1.0 {
+		t.Fatalf("P@3 = %f", got)
+	}
+}
+
+func TestWorthlessRun(t *testing.T) {
+	q := NewQrels()
+	judgeAll(q, "q", "a")
+	run := Run{"x", "y", "z"}
+	if got := ElevenPointAverage(q, "q", run); got != 0 {
+		t.Fatalf("irrelevant run 11pt = %f", got)
+	}
+	if got := RelevantIn(q, "q", run, 20); got != 0 {
+		t.Fatalf("RelevantIn = %d", got)
+	}
+}
+
+func TestElevenPointHandComputed(t *testing.T) {
+	// 2 relevant docs; run has them at ranks 1 and 4.
+	// Points: recall 0.5 -> P=1.0; recall 1.0 -> P=0.5.
+	// Interpolated: recall 0..0.5 -> 1.0 (6 levels), 0.6..1.0 -> 0.5 (5 levels).
+	// Average = (6*1.0 + 5*0.5)/11 = 8.5/11.
+	q := NewQrels()
+	judgeAll(q, "q", "a", "b")
+	run := Run{"a", "x", "y", "b"}
+	want := 8.5 / 11
+	if got := ElevenPointAverage(q, "q", run); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("11pt = %f, want %f", got, want)
+	}
+}
+
+func TestElevenPointPartialRecall(t *testing.T) {
+	// 4 relevant; only 1 found at rank 2. Recall reaches 0.25.
+	// Points: recall 0.25 -> P=0.5. Interpolated at 0, .1, .2 -> 0.5; rest 0.
+	q := NewQrels()
+	judgeAll(q, "q", "a", "b", "c", "d")
+	run := Run{"x", "a"}
+	want := 3 * 0.5 / 11
+	if got := ElevenPointAverage(q, "q", run); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("11pt = %f, want %f", got, want)
+	}
+}
+
+func TestNoRelevantDocs(t *testing.T) {
+	q := NewQrels()
+	if got := ElevenPointAverage(q, "unjudged", Run{"a"}); got != 0 {
+		t.Fatalf("unjudged query 11pt = %f", got)
+	}
+}
+
+func TestRelevantInShortRun(t *testing.T) {
+	q := NewQrels()
+	judgeAll(q, "q", "a")
+	if got := RelevantIn(q, "q", Run{"a"}, 20); got != 1 {
+		t.Fatalf("short run RelevantIn = %d", got)
+	}
+	if got := PrecisionAt(q, "q", Run{"a"}, 0); got != 0 {
+		t.Fatalf("P@0 = %f", got)
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	q := NewQrels()
+	judgeAll(q, "q1", "a", "b")
+	judgeAll(q, "q2", "c")
+	runs := map[string]Run{
+		"q1": {"a", "b"}, // perfect: 11pt 1.0, top-20 rel 2
+		"q2": {"x", "y"}, // miss: 0, 0
+	}
+	s := Evaluate(q, runs, 1000, 20)
+	if s.Queries != 2 {
+		t.Fatalf("Queries = %d", s.Queries)
+	}
+	if math.Abs(s.ElevenPtAvg-50.0) > 1e-9 {
+		t.Fatalf("ElevenPtAvg = %f, want 50.0", s.ElevenPtAvg)
+	}
+	if math.Abs(s.MeanRelevantTop-1.0) > 1e-9 {
+		t.Fatalf("MeanRelevantTop = %f, want 1.0", s.MeanRelevantTop)
+	}
+	if s.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}
+
+func TestEvaluateDepthTruncation(t *testing.T) {
+	// A relevant doc beyond the depth cutoff must not count.
+	q := NewQrels()
+	judgeAll(q, "q", "deep")
+	long := make(Run, 1001)
+	for i := range long {
+		long[i] = "filler" + strconv.Itoa(i)
+	}
+	long[1000] = "deep"
+	s := Evaluate(q, map[string]Run{"q": long}, 1000, 20)
+	if s.ElevenPtAvg != 0 {
+		t.Fatalf("doc at rank 1001 counted: 11pt = %f", s.ElevenPtAvg)
+	}
+	// But within depth it counts.
+	long[999] = "deep"
+	s = Evaluate(q, map[string]Run{"q": long}, 1000, 20)
+	if s.ElevenPtAvg == 0 {
+		t.Fatal("doc at rank 1000 ignored")
+	}
+}
+
+func TestEvaluateScopesToRunQueries(t *testing.T) {
+	// Queries judged in qrels but absent from the runs are not evaluated
+	// (trec_eval semantics): a run restricted to one query subset must not
+	// be diluted by the other subset's judgements.
+	q := NewQrels()
+	judgeAll(q, "q1", "a")
+	judgeAll(q, "q2", "b")
+	s := Evaluate(q, map[string]Run{"q1": {"a"}}, 1000, 20)
+	if s.Queries != 1 {
+		t.Fatalf("evaluated %d queries, want 1", s.Queries)
+	}
+	if math.Abs(s.ElevenPtAvg-100.0) > 1e-9 {
+		t.Fatalf("ElevenPtAvg = %f, want 100 (no dilution by q2)", s.ElevenPtAvg)
+	}
+	// An empty run for a judged query does count (and scores zero).
+	s = Evaluate(q, map[string]Run{"q1": {"a"}, "q2": nil}, 1000, 20)
+	if s.Queries != 2 || math.Abs(s.ElevenPtAvg-50.0) > 1e-9 {
+		t.Fatalf("with empty run: %+v", s)
+	}
+	// Runs for unjudged queries are skipped.
+	s = Evaluate(q, map[string]Run{"q1": {"a"}, "unjudged": {"x"}}, 1000, 20)
+	if s.Queries != 1 {
+		t.Fatalf("unjudged query counted: %+v", s)
+	}
+}

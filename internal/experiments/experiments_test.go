@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"teraphim/internal/core"
+	"teraphim/internal/costmodel"
+	"teraphim/internal/trecsynth"
+)
+
+// testConfig keeps the corpus small enough for unit-test runtime while
+// preserving the statistical structure.
+func testConfig() trecsynth.Config {
+	cfg := trecsynth.DefaultConfig()
+	cfg.Subs = []trecsynth.SubSpec{
+		{Name: "AP", NumDocs: 350},
+		{Name: "FR", NumDocs: 220},
+		{Name: "WSJ", NumDocs: 320},
+		{Name: "ZIFF", NumDocs: 260},
+	}
+	cfg.VocabSize = 4000
+	cfg.NumTopics = 24
+	cfg.NumLongQueries = 8
+	cfg.NumShortQueries = 12
+	return cfg
+}
+
+var sharedRunner *Runner
+
+func getRunner(t testing.TB) *Runner {
+	t.Helper()
+	if sharedRunner == nil {
+		r, err := NewRunner(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedRunner = r
+	}
+	return sharedRunner
+}
+
+func TestTable1Runs(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MS and CV", "CN", "CI, k'=100", "CI, k'=1000", "Long queries", "Short queries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEffectivenessShape pins the Table 1 shape: every standard mode
+// retrieves a meaningful fraction of the relevant documents, CN is within a
+// few points of MS/CV, and CI at k'=100 loses 11-pt average relative to
+// k'=1000 while precision-at-20 stays close.
+func TestEffectivenessShape(t *testing.T) {
+	r := getRunner(t)
+	queries := r.Corpus.QueriesOf(trecsynth.ShortQuery)
+	results := map[string]float64{}
+	top20 := map[string]float64{}
+	for _, spec := range StandardSpecs() {
+		s, err := r.Effectiveness(spec, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[spec.Label] = s.ElevenPtAvg
+		top20[spec.Label] = s.MeanRelevantTop
+		t.Logf("%-12s 11pt=%.2f top20=%.2f", spec.Label, s.ElevenPtAvg, s.MeanRelevantTop)
+	}
+	ms := results["MS and CV"]
+	if ms < 5 {
+		t.Fatalf("MS/CV 11-pt average %.2f: retrieval is not working", ms)
+	}
+	if diff := math.Abs(results["CN"] - ms); diff > 12 {
+		t.Errorf("CN %.2f vs MS %.2f: difference %.2f too large", results["CN"], ms, diff)
+	}
+	if results["CI, k'=100"] > results["CI, k'=1000"]+1 {
+		t.Errorf("CI k'=100 (%.2f) should not beat k'=1000 (%.2f) at depth 1000",
+			results["CI, k'=100"], results["CI, k'=1000"])
+	}
+	// Precision in the top 20 is relatively insensitive to k' (the paper's
+	// observation about high-precision retrieval).
+	if top20["CI, k'=100"] < 0.5*top20["CI, k'=1000"] {
+		t.Errorf("CI k'=100 top-20 %.2f collapsed relative to k'=1000 %.2f",
+			top20["CI, k'=100"], top20["CI, k'=1000"])
+	}
+}
+
+// TestCVEqualsMSRuns pins run-level equality of the combined "MS and CV"
+// row: the two systems retrieve identical rankings.
+func TestCVEqualsMSRuns(t *testing.T) {
+	r := getRunner(t)
+	queries := r.Corpus.QueriesOf(trecsynth.ShortQuery)[:4]
+	msRuns, _, err := r.Run(RunSpec{Label: "MS", Mode: core.ModeMS}, queries, 50, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvRuns, _, err := r.Run(RunSpec{Label: "CV", Mode: core.ModeCV}, queries, 50, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		ms, cv := msRuns[q.ID], cvRuns[q.ID]
+		if len(ms) != len(cv) {
+			t.Fatalf("query %s: MS %d docs, CV %d", q.ID, len(ms), len(cv))
+		}
+		for i := range ms {
+			if ms[i] != cv[i] {
+				t.Fatalf("query %s rank %d: MS %s, CV %s", q.ID, i, ms[i], cv[i])
+			}
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Waikato", "Canberra", "Brisbane", "Israel", "0.76", "1.04"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables3And4Shape(t *testing.T) {
+	r := getRunner(t)
+	rank, err := r.timing(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := r.timing(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := func(rows []timingRow, label string) timingRow {
+		for _, row := range rows {
+			if row.label == label {
+				return row
+			}
+		}
+		t.Fatalf("missing row %q", label)
+		return timingRow{}
+	}
+	for _, label := range []string{"MS", "CN", "CV", "CI"} {
+		row := byLabel(rank, label)
+		if row.seconds["mono-disk"] <= 0 {
+			t.Errorf("%s mono-disk rank time not positive", label)
+		}
+	}
+	cn := byLabel(rank, "CN")
+	// Paper shape: WAN index processing is several times LAN.
+	if cn.seconds["WAN"] < 3*cn.seconds["LAN"] {
+		t.Errorf("CN WAN %.3f not >> LAN %.3f", cn.seconds["WAN"], cn.seconds["LAN"])
+	}
+	// Multi-disk is at least as fast as mono-disk.
+	if cn.seconds["multi-disk"] > cn.seconds["mono-disk"] {
+		t.Errorf("CN multi-disk %.3f slower than mono-disk %.3f",
+			cn.seconds["multi-disk"], cn.seconds["mono-disk"])
+	}
+	// Table 4 adds fetch cost: totals must exceed rank-only times.
+	cnTotal := byLabel(total, "CN")
+	for _, cfgName := range []string{"mono-disk", "multi-disk", "LAN", "WAN"} {
+		if cnTotal.seconds[cfgName] < cn.seconds[cfgName] {
+			t.Errorf("CN %s total %.3f < rank-only %.3f", cfgName,
+				cnTotal.seconds[cfgName], cn.seconds[cfgName])
+		}
+	}
+	// WAN fetch adds substantially (the paper's 4.2s -> 15s jump).
+	if cnTotal.seconds["WAN"] < cn.seconds["WAN"]*1.5 {
+		t.Errorf("CN WAN total %.3f does not reflect heavy fetch cost over %.3f",
+			cnTotal.seconds["WAN"], cn.seconds["WAN"])
+	}
+}
+
+func TestSizesReport(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.Sizes(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"merged vocabulary", "G=1", "G=10", "librarian AP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sizes report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGroupedIndexShrinks(t *testing.T) {
+	r := getRunner(t)
+	g1, err := r.GroupedIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g10, err := r.GroupedIndex(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(g10.SizeBytes()) / float64(g1.SizeBytes())
+	// The paper: groups of ten roughly halve index size.
+	if ratio > 0.8 {
+		t.Errorf("G=10 index is %.0f%% of G=1; expected substantial shrink", 100*ratio)
+	}
+	t.Logf("grouped index ratio G10/G1 = %.2f", ratio)
+}
+
+func TestSkippingAblation(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.Skipping(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "w/ skips") || !strings.Contains(out, "head terms") {
+		t.Fatalf("skipping report malformed:\n%s", out)
+	}
+}
+
+func TestThresholdAblation(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.Threshold(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "full index") {
+		t.Fatalf("threshold report malformed:\n%s", buf.String())
+	}
+}
+
+func TestCompressionAblation(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.CompressionAblation(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compression saves") {
+		t.Fatalf("compression report malformed:\n%s", buf.String())
+	}
+}
+
+func TestWANConfigMatchesCorpus(t *testing.T) {
+	// Every default subcollection has a WAN link configured.
+	for _, sub := range trecsynth.DefaultConfig().Subs {
+		if costmodel.WANSites[sub.Name] == 0 {
+			t.Errorf("no WAN site for %s", sub.Name)
+		}
+	}
+}
+
+func TestFusionComparison(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.Fusion(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"face-value", "round-robin", "normalized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fusion report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResourceScaling(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.ResourceScaling(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MS") || !strings.Contains(out, "16") {
+		t.Fatalf("resource scaling report malformed:\n%s", out)
+	}
+}
+
+func TestFreqSortedAblation(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.FreqSorted(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "exact (0/0)") || !strings.Contains(out, "insert 0.60") {
+		t.Fatalf("freq-sorted report malformed:\n%s", out)
+	}
+}
+
+func TestThroughputReport(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.Throughput(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MS", "CN", "CV", "CI", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("throughput report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuantizedWeightsAblation(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	if err := r.QuantizedWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "exact f32") || !strings.Contains(out, "1-byte log") {
+		t.Fatalf("quantized report malformed:\n%s", out)
+	}
+}

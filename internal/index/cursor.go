@@ -1,0 +1,129 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"teraphim/internal/bitio"
+	"teraphim/internal/codec"
+)
+
+// TermCursor iterates the postings of one term in increasing document
+// order. Next reads sequentially; Advance uses the skip structure to jump
+// forward, decoding only the block containing the target — the "skipping"
+// optimisation whose effect the paper estimates at 2x for small k'.
+type TermCursor struct {
+	entry   *termEntry
+	r       *bitio.Reader
+	golombB uint64
+	pos     uint32 // postings consumed so far
+	prevDoc int64
+	cur     Posting
+	valid   bool
+	skipIvl uint32
+
+	// DecodedPostings counts postings actually decoded, including those
+	// skipped over sequentially but excluding those bypassed via skip
+	// pointers; it feeds the CPU cost model.
+	DecodedPostings uint64
+}
+
+// Cursor returns a cursor over the postings of term.
+func (ix *Index) Cursor(term string) (*TermCursor, error) {
+	i, ok := ix.byTerm[term]
+	if !ok {
+		return nil, fmt.Errorf("index: %w: %q", ErrTermNotFound, term)
+	}
+	e := &ix.entries[i]
+	return &TermCursor{
+		entry:   e,
+		r:       bitio.NewReader(e.postings),
+		golombB: codec.GolombParameter(uint64(ix.numDocs), uint64(e.ft)),
+		prevDoc: -1,
+		skipIvl: ix.skipIvl,
+	}, nil
+}
+
+// FT returns f_t for the cursor's term.
+func (c *TermCursor) FT() uint32 { return c.entry.ft }
+
+// Next advances to the next posting, returning false at the end of the list.
+func (c *TermCursor) Next() bool {
+	if c.pos >= c.entry.ft {
+		c.valid = false
+		return false
+	}
+	gap, err := codec.Golomb(c.r, c.golombB)
+	if err != nil {
+		c.valid = false
+		return false
+	}
+	fdt, err := codec.Gamma(c.r)
+	if err != nil {
+		c.valid = false
+		return false
+	}
+	c.prevDoc += int64(gap)
+	c.cur = Posting{Doc: uint32(c.prevDoc), FDT: uint32(fdt)}
+	c.pos++
+	c.valid = true
+	c.DecodedPostings++
+	return true
+}
+
+// Posting returns the current posting; valid only after Next or Advance
+// returned true.
+func (c *TermCursor) Posting() Posting { return c.cur }
+
+// Advance positions the cursor at the first posting with Doc >= target,
+// using skip pointers where profitable. It returns false when no such
+// posting exists. After Advance returns true, Posting is valid.
+func (c *TermCursor) Advance(target uint32) bool {
+	if c.valid && c.cur.Doc >= target {
+		return true
+	}
+	// Use the skip table to find the last block whose preceding doc is
+	// below the target, if it is ahead of our position.
+	if n := len(c.entry.skipDocs); n > 0 {
+		// block b covers postings [(b)*ivl, (b+1)*ivl); skipDocs[i] is the
+		// doc before block i+1 begins.
+		i := sort.Search(n, func(i int) bool { return c.entry.skipDocs[i] >= target })
+		// Block i+1 is the first that could contain the target... blocks
+		// before it end with docs < target. Jump to block i (0-based skip
+		// entry i-1... careful): skip entry j points at block j+1.
+		if i > 0 {
+			j := i - 1 // last skip entry with skipDocs[j] < target
+			blockFirstPos := uint32(j+1) * c.skipIvl
+			if blockFirstPos > c.pos {
+				if err := c.r.SeekBit(int(c.entry.skipBits[j])); err != nil {
+					c.valid = false
+					return false
+				}
+				c.pos = blockFirstPos
+				c.prevDoc = int64(c.entry.skipDocs[j])
+				c.valid = false
+			}
+		}
+	}
+	for c.Next() {
+		if c.cur.Doc >= target {
+			return true
+		}
+	}
+	return false
+}
+
+// Decode reads the entire list into dst (appending) and returns it. The
+// cursor must be fresh (no Next/Advance calls yet).
+func (c *TermCursor) Decode(dst []Posting) ([]Posting, error) {
+	if c.pos != 0 {
+		return dst, fmt.Errorf("index: Decode on a consumed cursor")
+	}
+	for c.Next() {
+		dst = append(dst, c.cur)
+	}
+	if c.pos != c.entry.ft {
+		return dst, fmt.Errorf("index: decoded %d of %d postings", c.pos, c.entry.ft)
+	}
+	return dst, nil
+}

@@ -1,0 +1,73 @@
+package index
+
+import (
+	"fmt"
+)
+
+// Merge combines several indexes into one, renumbering each input's
+// documents by its offset — the inverse of partitioning a collection across
+// librarians. offsets[i] is the global number of subIndexes[i]'s local
+// document 0; inputs must tile [0, totalDocs) without overlap.
+//
+// Merging is exact: the result is identical (postings, weights, sizes) to
+// indexing the concatenated collection directly, because document weights
+// depend only on per-document term frequencies.
+func Merge(subIndexes []*Index, offsets []uint32, totalDocs uint32, opts ...BuilderOption) (*Index, error) {
+	if len(subIndexes) == 0 {
+		return nil, fmt.Errorf("index: nothing to merge")
+	}
+	if len(subIndexes) != len(offsets) {
+		return nil, fmt.Errorf("index: %d indexes but %d offsets", len(subIndexes), len(offsets))
+	}
+	var covered uint64
+	for i, ix := range subIndexes {
+		covered += uint64(ix.NumDocs())
+		if uint64(offsets[i])+uint64(ix.NumDocs()) > uint64(totalDocs) {
+			return nil, fmt.Errorf("index: input %d (offset %d, %d docs) exceeds collection of %d",
+				i, offsets[i], ix.NumDocs(), totalDocs)
+		}
+	}
+	if covered != uint64(totalDocs) {
+		return nil, fmt.Errorf("index: inputs cover %d docs, collection has %d", covered, totalDocs)
+	}
+
+	rb := NewRawBuilder(totalDocs, opts...)
+	for i, ix := range subIndexes {
+		offset := offsets[i]
+		var walkErr error
+		buf := make([]Posting, 0, 256)
+		ix.Terms(func(term string, ft uint32) bool {
+			cur, err := ix.Cursor(term)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			buf = buf[:0]
+			for cur.Next() {
+				p := cur.Posting()
+				buf = append(buf, Posting{Doc: offset + p.Doc, FDT: p.FDT})
+			}
+			if err := rb.AddPostings(term, buf); err != nil {
+				walkErr = fmt.Errorf("index: merge term %q: %w", term, err)
+				return false
+			}
+			return true
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	}
+	merged, err := rb.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Exact document lengths carry over (RawBuilder derives Σf_dt, which
+	// equals the indexed-term count the per-sub builders recorded).
+	for i, ix := range subIndexes {
+		for d := uint32(0); d < ix.NumDocs(); d++ {
+			merged.lens[offsets[i]+d] = ix.lens[d]
+			merged.weights[offsets[i]+d] = ix.weights[d]
+		}
+	}
+	return merged, nil
+}

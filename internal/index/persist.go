@@ -1,0 +1,255 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// File format (little endian):
+//
+//	magic "TPIX" | version u32 | numDocs u32 | skipIvl u32 | numTerms u32
+//	per doc:  weight f32 | len u32
+//	per term: frontCodedTerm (shared u8, suffixLen u8, suffix bytes)
+//	          ft u32 | postingsLen u32 | postings bytes
+//	          numSkips u32 | skipDocs u32... | skipBits u32...
+const (
+	indexMagic   = "TPIX"
+	indexVersion = 1
+)
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	put32 := func(v uint32) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(indexMagic)); err != nil {
+		return cw.n, err
+	}
+	for _, v := range []uint32{indexVersion, ix.numDocs, ix.skipIvl, uint32(len(ix.entries))} {
+		if err := put32(v); err != nil {
+			return cw.n, err
+		}
+	}
+	for d := uint32(0); d < ix.numDocs; d++ {
+		if err := put32(math.Float32bits(ix.weights[d])); err != nil {
+			return cw.n, err
+		}
+		if err := put32(ix.lens[d]); err != nil {
+			return cw.n, err
+		}
+	}
+	prev := ""
+	for _, e := range ix.entries {
+		shared := sharedPrefix(prev, e.term)
+		suffix := e.term[shared:]
+		if _, err := cw.Write([]byte{byte(shared), byte(len(suffix))}); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write([]byte(suffix)); err != nil {
+			return cw.n, err
+		}
+		prev = e.term
+		if err := put32(e.ft); err != nil {
+			return cw.n, err
+		}
+		if err := put32(uint32(len(e.postings))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(e.postings); err != nil {
+			return cw.n, err
+		}
+		if err := put32(uint32(len(e.skipDocs))); err != nil {
+			return cw.n, err
+		}
+		for _, v := range e.skipDocs {
+			if err := put32(v); err != nil {
+				return cw.n, err
+			}
+		}
+		for _, v := range e.skipBits {
+			if err := put32(v); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if bw, ok := cw.w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserialises an index written by WriteTo.
+func ReadFrom(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	get32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: read magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	version, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", version)
+	}
+	ix := &Index{}
+	if ix.numDocs, err = get32(); err != nil {
+		return nil, err
+	}
+	if ix.skipIvl, err = get32(); err != nil {
+		return nil, err
+	}
+	numTerms, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	// Grow per-document and per-term tables incrementally with a bounded
+	// capacity hint: the header counts are untrusted (indexes also arrive
+	// over the wire in IndexReply messages), so a corrupt count must fail
+	// on short input rather than pre-allocate gigabytes.
+	ix.weights = make([]float32, 0, boundedHint(uint64(ix.numDocs)))
+	ix.lens = make([]uint32, 0, boundedHint(uint64(ix.numDocs)))
+	for d := uint32(0); d < ix.numDocs; d++ {
+		bits, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("index: doc %d weight: %w", d, err)
+		}
+		ix.weights = append(ix.weights, math.Float32frombits(bits))
+		l, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("index: doc %d len: %w", d, err)
+		}
+		ix.lens = append(ix.lens, l)
+	}
+	ix.entries = make([]termEntry, 0, boundedHint(uint64(numTerms)))
+	ix.byTerm = make(map[string]int, boundedHint(uint64(numTerms)))
+	prev := ""
+	var hdr [2]byte
+	for i := uint32(0); i < numTerms; i++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("index: term %d header: %w", i, err)
+		}
+		shared, suffixLen := int(hdr[0]), int(hdr[1])
+		if shared > len(prev) {
+			return nil, fmt.Errorf("index: term %d shares %d bytes with %d-byte predecessor", i, shared, len(prev))
+		}
+		suffix := make([]byte, suffixLen)
+		if _, err := io.ReadFull(br, suffix); err != nil {
+			return nil, fmt.Errorf("index: term %d suffix: %w", i, err)
+		}
+		term := prev[:shared] + string(suffix)
+		if term <= prev && i > 0 {
+			return nil, fmt.Errorf("index: terms out of order: %q after %q", term, prev)
+		}
+		prev = term
+		var e termEntry
+		e.term = term
+		if e.ft, err = get32(); err != nil {
+			return nil, err
+		}
+		plen, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if e.postings, err = readChunked(br, uint64(plen)); err != nil {
+			return nil, fmt.Errorf("index: term %q postings: %w", term, err)
+		}
+		nskips, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if nskips > 0 {
+			e.skipDocs = make([]uint32, 0, boundedHint(uint64(nskips)))
+			e.skipBits = make([]uint32, 0, boundedHint(uint64(nskips)))
+			for j := uint32(0); j < nskips; j++ {
+				v, err := get32()
+				if err != nil {
+					return nil, err
+				}
+				e.skipDocs = append(e.skipDocs, v)
+			}
+			for j := uint32(0); j < nskips; j++ {
+				v, err := get32()
+				if err != nil {
+					return nil, err
+				}
+				e.skipBits = append(e.skipBits, v)
+			}
+		}
+		ix.byTerm[term] = int(i)
+		ix.entries = append(ix.entries, e)
+		ix.numPtrs += uint64(e.ft)
+		ix.postings += uint64(len(e.postings))
+	}
+	return ix, nil
+}
+
+// boundedHint caps an untrusted count used as an allocation capacity hint.
+func boundedHint(n uint64) int {
+	const maxHint = 1 << 16
+	if n > maxHint {
+		return maxHint
+	}
+	return int(n)
+}
+
+// readChunked reads exactly n bytes, growing the buffer in bounded steps so
+// an inflated length in a corrupt header fails on short input instead of
+// pre-allocating the claimed size.
+func readChunked(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	out := make([]byte, 0, boundedHint(n))
+	for n > 0 {
+		step := n
+		if step > chunk {
+			step = chunk
+		}
+		buf := make([]byte, step)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		n -= step
+	}
+	return out, nil
+}
+
+func sharedPrefix(a, b string) int {
+	n := 0
+	max := len(a)
+	if len(b) < max {
+		max = len(b)
+	}
+	if max > 255 {
+		max = 255
+	}
+	for n < max && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// countWriter tracks bytes written.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

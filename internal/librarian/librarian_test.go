@@ -1,0 +1,325 @@
+package librarian
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"teraphim/internal/protocol"
+	"teraphim/internal/simnet"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+)
+
+func testDocs() []store.Document {
+	return []store.Document{
+		{Title: "AP-0", Text: "cats and dogs live together"},
+		{Title: "AP-1", Text: "dogs chase the mail carrier"},
+		{Title: "AP-2", Text: "cats nap in warm sunlight all day"},
+	}
+}
+
+func buildTestLibrarian(t testing.TB) *Librarian {
+	t.Helper()
+	lib, err := Build("AP", testDocs(), BuildOptions{
+		Analyzer: textproc.NewAnalyzer(textproc.WithoutStopwords(), textproc.WithoutStemming()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// call performs one request/response over an in-process pipe session.
+func call(t *testing.T, lib *Librarian, msg protocol.Message) protocol.Message {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = lib.ServeConn(server)
+	}()
+	defer func() {
+		client.Close()
+		server.Close()
+		<-done
+	}()
+	if _, err := protocol.WriteMessage(client, msg); err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := protocol.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build("", testDocs(), BuildOptions{}); err == nil {
+		t.Fatal("empty name: want error")
+	}
+	if _, err := New("x", nil, nil); err == nil {
+		t.Fatal("nil parts: want error")
+	}
+}
+
+func TestHello(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.Hello{})
+	hr, ok := reply.(*protocol.HelloReply)
+	if !ok {
+		t.Fatalf("got %T", reply)
+	}
+	if hr.Name != "AP" || hr.NumDocs != 3 || hr.NumTerms == 0 {
+		t.Fatalf("HelloReply = %+v", hr)
+	}
+}
+
+func TestVocab(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.VocabRequest{})
+	vr, ok := reply.(*protocol.VocabReply)
+	if !ok {
+		t.Fatalf("got %T", reply)
+	}
+	fts := map[string]uint32{}
+	for _, ts := range vr.Terms {
+		fts[ts.Term] = ts.FT
+	}
+	if fts["cats"] != 2 || fts["dogs"] != 2 || fts["sunlight"] != 1 {
+		t.Fatalf("vocab wrong: %v", fts)
+	}
+}
+
+func TestRankOverWire(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.RankQuery{Query: "cats sunlight", K: 10})
+	rr, ok := reply.(*protocol.RankReply)
+	if !ok {
+		t.Fatalf("got %T", reply)
+	}
+	if len(rr.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if rr.Results[0].Doc != 2 {
+		t.Fatalf("top doc = %d, want 2", rr.Results[0].Doc)
+	}
+	// Wire results must equal direct engine results.
+	direct, _, err := lib.Engine().Rank("cats sunlight", 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(rr.Results) {
+		t.Fatalf("wire %d results, direct %d", len(rr.Results), len(direct))
+	}
+	for i := range direct {
+		if direct[i].Doc != rr.Results[i].Doc || direct[i].Score != rr.Results[i].Score {
+			t.Fatalf("result %d differs: wire %+v direct %+v", i, rr.Results[i], direct[i])
+		}
+	}
+	if rr.Stats.PostingsDecoded == 0 {
+		t.Fatal("stats not propagated")
+	}
+}
+
+func TestRankEmptyQueryOverWire(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.RankQuery{Query: "!!!", K: 5})
+	rr, ok := reply.(*protocol.RankReply)
+	if !ok {
+		t.Fatalf("empty query should yield empty RankReply, got %T", reply)
+	}
+	if len(rr.Results) != 0 {
+		t.Fatalf("expected no results, got %d", len(rr.Results))
+	}
+}
+
+func TestScoreDocsOverWire(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.ScoreDocs{Query: "cats", Docs: []uint32{0, 1, 2}})
+	rr, ok := reply.(*protocol.RankReply)
+	if !ok {
+		t.Fatalf("got %T", reply)
+	}
+	if len(rr.Results) != 3 {
+		t.Fatalf("got %d scores, want 3", len(rr.Results))
+	}
+	if rr.Results[1].Score != 0 {
+		t.Fatal("doc 1 has no 'cats' but scored nonzero")
+	}
+}
+
+func TestScoreDocsBadDoc(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.ScoreDocs{Query: "cats", Docs: []uint32{99}})
+	if _, ok := reply.(*protocol.ErrorReply); !ok {
+		t.Fatalf("out-of-range doc: got %T, want ErrorReply", reply)
+	}
+}
+
+func TestFetchPlainAndCompressed(t *testing.T) {
+	lib := buildTestLibrarian(t)
+
+	reply := call(t, lib, &protocol.FetchDocs{Docs: []uint32{0, 2}})
+	fr, ok := reply.(*protocol.FetchReply)
+	if !ok {
+		t.Fatalf("got %T", reply)
+	}
+	if len(fr.Docs) != 2 || string(fr.Docs[0].Data) != testDocs()[0].Text {
+		t.Fatalf("plain fetch wrong: %+v", fr)
+	}
+
+	reply = call(t, lib, &protocol.FetchDocs{Docs: []uint32{1}, Compressed: true})
+	fr, ok = reply.(*protocol.FetchReply)
+	if !ok {
+		t.Fatalf("got %T", reply)
+	}
+	if !fr.Docs[0].Compressed {
+		t.Fatal("blob not marked compressed")
+	}
+	text, err := lib.Store().Decompress(fr.Docs[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != testDocs()[1].Text {
+		t.Fatalf("compressed fetch decompressed to %q", text)
+	}
+}
+
+func TestFetchBadDoc(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.FetchDocs{Docs: []uint32{42}})
+	if _, ok := reply.(*protocol.ErrorReply); !ok {
+		t.Fatalf("got %T, want ErrorReply", reply)
+	}
+}
+
+func TestUnexpectedMessage(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.ErrorReply{Message: "client should not send this"})
+	if _, ok := reply.(*protocol.ErrorReply); !ok {
+		t.Fatalf("got %T, want ErrorReply", reply)
+	}
+}
+
+func TestTCPServer(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(lib, ln)
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	dialer := simnet.TCPDialer{"AP": srv.Addr().String()}
+	conn, err := dialer.Dial("AP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := protocol.WriteMessage(conn, &protocol.RankQuery{Query: "dogs", K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := protocol.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := reply.(*protocol.RankReply)
+	if !ok || len(rr.Results) != 2 {
+		t.Fatalf("TCP rank reply: %#v", reply)
+	}
+	if _, err := dialer.Dial("missing"); err == nil {
+		t.Fatal("unknown TCP peer: want error")
+	}
+}
+
+func TestTCPServerConcurrentSessions(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(lib, ln)
+	defer srv.Close()
+
+	const sessions = 8
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		go func() {
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for j := 0; j < 5; j++ {
+				if _, err := protocol.WriteMessage(conn, &protocol.RankQuery{Query: "cats dogs", K: 3}); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := protocol.ReadMessage(conn); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < sessions; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInProcessDialer(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	d := NewInProcessDialer([]*Librarian{lib}, simnet.LinkConfig{})
+	conn, err := d.Dial("AP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := protocol.WriteMessage(conn, &protocol.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := protocol.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr, ok := reply.(*protocol.HelloReply); !ok || hr.Name != "AP" {
+		t.Fatalf("got %#v", reply)
+	}
+	conn.Close()
+	d.Wait()
+	if _, err := d.Dial("nope"); err == nil {
+		t.Fatal("unknown in-process peer: want error")
+	}
+	if err := d.SetLink("nope", simnet.LinkConfig{}); err == nil {
+		t.Fatal("SetLink unknown peer: want error")
+	}
+}
+
+func TestBuildStemsConsistently(t *testing.T) {
+	// With the default analyzer, a stemmed query must match stemmed docs.
+	lib, err := Build("X", []store.Document{
+		{Title: "d0", Text: "distributed libraries"},
+		{Title: "d1", Text: "centralized monoliths"},
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := lib.Engine().Rank("library distribution", 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || results[0].Doc != 0 {
+		t.Fatalf("stemming mismatch: %v", results)
+	}
+	if !strings.Contains(lib.Name(), "X") {
+		t.Fatal("name lost")
+	}
+}

@@ -1,0 +1,115 @@
+package librarian
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"teraphim/internal/protocol"
+	"teraphim/internal/search"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+)
+
+// The paper's §4 lists "faster update" among distribution's management
+// benefits: a subcollection can be re-indexed at its own site without
+// touching the rest of the federation. UpdatableLibrarian provides that:
+// an atomically swappable collection behind the same wire protocol, so
+// in-flight receptionist sessions keep working during a rebuild and new
+// queries see the new collection the moment the swap lands.
+//
+// MG-style indexes are immutable, so update is rebuild-and-swap — exactly
+// how production descendants of these systems handle incremental change at
+// the subcollection level.
+
+// UpdatableLibrarian wraps a Librarian whose collection can be replaced
+// while serving. All methods are safe for concurrent use.
+type UpdatableLibrarian struct {
+	name     string
+	analyzer *textproc.Analyzer
+	skip     int
+
+	mu  sync.RWMutex
+	lib *Librarian
+}
+
+// NewUpdatable builds the initial collection and returns the updatable
+// wrapper.
+func NewUpdatable(name string, docs []store.Document, opts BuildOptions) (*UpdatableLibrarian, error) {
+	lib, err := Build(name, docs, opts)
+	if err != nil {
+		return nil, err
+	}
+	analyzer := opts.Analyzer
+	if analyzer == nil {
+		analyzer = textproc.NewAnalyzer()
+	}
+	return &UpdatableLibrarian{name: name, analyzer: analyzer, skip: opts.SkipInterval, lib: lib}, nil
+}
+
+// Name returns the collection name.
+func (u *UpdatableLibrarian) Name() string { return u.name }
+
+// Current returns the serving librarian snapshot. The snapshot is immutable
+// and remains valid after later updates.
+func (u *UpdatableLibrarian) Current() *Librarian {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.lib
+}
+
+// Engine returns the current snapshot's engine (convenience for local use).
+func (u *UpdatableLibrarian) Engine() *search.Engine { return u.Current().Engine() }
+
+// Update rebuilds the collection from docs and swaps it in atomically.
+// Queries racing with the update see either the old or the new collection,
+// never a mixture.
+func (u *UpdatableLibrarian) Update(docs []store.Document) error {
+	lib, err := Build(u.name, docs, BuildOptions{Analyzer: u.analyzer, SkipInterval: u.skip})
+	if err != nil {
+		return fmt.Errorf("librarian: update %q: %w", u.name, err)
+	}
+	u.mu.Lock()
+	u.lib = lib
+	u.mu.Unlock()
+	return nil
+}
+
+// Append re-indexes the collection with additional documents. Existing
+// documents keep their ids; new documents are appended after them. The
+// originals are recovered from the compressed store (lossless), so no
+// side copy of the text is needed.
+func (u *UpdatableLibrarian) Append(newDocs []store.Document) error {
+	current := u.Current()
+	st := current.Store()
+	docs := make([]store.Document, 0, int(st.NumDocs())+len(newDocs))
+	for id := uint32(0); id < st.NumDocs(); id++ {
+		doc, err := st.Fetch(id)
+		if err != nil {
+			return fmt.Errorf("librarian: append to %q: recover doc %d: %w", u.name, id, err)
+		}
+		docs = append(docs, doc)
+	}
+	docs = append(docs, newDocs...)
+	return u.Update(docs)
+}
+
+// ServeConn answers protocol messages until EOF, dispatching each request
+// against the snapshot current when it arrives.
+func (u *UpdatableLibrarian) ServeConn(conn io.ReadWriter) error {
+	for {
+		msg, _, err := protocol.ReadMessage(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("librarian %q: %w", u.name, err)
+		}
+		reply := u.Current().handle(msg)
+		if _, err := protocol.WriteMessage(conn, reply); err != nil {
+			return fmt.Errorf("librarian %q: %w", u.name, err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package librarian
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"teraphim/internal/protocol"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+)
+
+func newUpdatable(t *testing.T) *UpdatableLibrarian {
+	t.Helper()
+	u, err := NewUpdatable("UP", []store.Document{
+		{Title: "d0", Text: "original cats and dogs"},
+		{Title: "d1", Text: "original fish"},
+	}, BuildOptions{Analyzer: textproc.NewAnalyzer(textproc.WithoutStopwords(), textproc.WithoutStemming())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUpdateSwapsCollection(t *testing.T) {
+	u := newUpdatable(t)
+	before := u.Current()
+	results, _, err := u.Engine().Rank("cats", 5, nil)
+	if err != nil || len(results) != 1 {
+		t.Fatalf("before update: %v, %v", results, err)
+	}
+	err = u.Update([]store.Document{
+		{Title: "n0", Text: "replacement ferrets"},
+		{Title: "n1", Text: "replacement cats everywhere cats"},
+		{Title: "n2", Text: "more ferrets"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err = u.Engine().Rank("ferrets", 5, nil)
+	if err != nil || len(results) != 2 {
+		t.Fatalf("after update: %v, %v", results, err)
+	}
+	// Old snapshot stays intact for in-flight users.
+	results, _, err = before.Engine().Rank("dogs", 5, nil)
+	if err != nil || len(results) != 1 {
+		t.Fatalf("old snapshot: %v, %v", results, err)
+	}
+	if u.Name() != "UP" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestAppendKeepsExistingDocs(t *testing.T) {
+	u := newUpdatable(t)
+	if err := u.Append([]store.Document{{Title: "d2", Text: "brand new parrots"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := u.Current().Store()
+	if st.NumDocs() != 3 {
+		t.Fatalf("after append: %d docs", st.NumDocs())
+	}
+	// Existing documents keep their ids and text.
+	doc, err := st.Fetch(0)
+	if err != nil || doc.Text != "original cats and dogs" {
+		t.Fatalf("doc 0 after append: %+v, %v", doc, err)
+	}
+	doc, err = st.Fetch(2)
+	if err != nil || doc.Title != "d2" {
+		t.Fatalf("doc 2 after append: %+v, %v", doc, err)
+	}
+	results, _, err := u.Engine().Rank("parrots", 5, nil)
+	if err != nil || len(results) != 1 || results[0].Doc != 2 {
+		t.Fatalf("parrots: %v, %v", results, err)
+	}
+}
+
+// TestServeAcrossUpdate drives a wire session through an update: requests
+// before the swap see the old collection, requests after see the new one,
+// on the same connection.
+func TestServeAcrossUpdate(t *testing.T) {
+	u := newUpdatable(t)
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = u.ServeConn(server)
+	}()
+	defer func() {
+		client.Close()
+		server.Close()
+		<-done
+	}()
+	ask := func(query string) int {
+		t.Helper()
+		if _, err := protocol.WriteMessage(client, &protocol.RankQuery{Query: query, K: 5}); err != nil {
+			t.Fatal(err)
+		}
+		reply, _, err := protocol.ReadMessage(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, ok := reply.(*protocol.RankReply)
+		if !ok {
+			t.Fatalf("got %T", reply)
+		}
+		return len(rr.Results)
+	}
+	if n := ask("cats"); n != 1 {
+		t.Fatalf("pre-update cats: %d", n)
+	}
+	if err := u.Update([]store.Document{{Title: "n0", Text: "only ferrets now"}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := ask("cats"); n != 0 {
+		t.Fatalf("post-update cats: %d (old collection still serving)", n)
+	}
+	if n := ask("ferrets"); n != 1 {
+		t.Fatalf("post-update ferrets: %d", n)
+	}
+}
+
+// TestConcurrentQueriesDuringUpdate exercises the swap under the race
+// detector: readers and an updater run simultaneously.
+func TestConcurrentQueriesDuringUpdate(t *testing.T) {
+	u := newUpdatable(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				if _, _, err := u.Engine().Rank("cats ferrets", 5, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 20; round++ {
+		docs := []store.Document{
+			{Title: "a", Text: "cats cats cats"},
+			{Title: "b", Text: "ferrets ferrets"},
+		}
+		if round%2 == 1 {
+			docs = append(docs, store.Document{Title: "c", Text: "cats and ferrets"})
+		}
+		if err := u.Update(docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package protocol
+
+// capHint bounds a wire-supplied element count by what the remaining
+// payload could possibly hold (perItem = minimum encoded bytes per
+// element), so corrupt or malicious counts cannot trigger huge
+// allocations before decoding fails.
+func capHint(n uint64, remaining, perItem int) int {
+	if perItem < 1 {
+		perItem = 1
+	}
+	max := uint64(remaining/perItem) + 1
+	if n > max {
+		n = max
+	}
+	return int(n)
+}
+
+// Per-message Type/encode/decode implementations. Encoders append to b and
+// return it; decoders must consume the payload exactly.
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return TypeHello }
+
+func (*Hello) encode(b []byte) []byte { return b }
+
+func (*Hello) decode(b []byte) error { return expectEmpty(b, TypeHello) }
+
+// Type implements Message.
+func (*HelloReply) Type() MsgType { return TypeHelloReply }
+
+func (m *HelloReply) encode(b []byte) []byte {
+	b = putString(b, m.Name)
+	b = putUint(b, uint64(m.NumDocs))
+	b = putUint(b, uint64(m.NumTerms))
+	b = putUint(b, m.IndexBytes)
+	b = putUint(b, m.VocabBytes)
+	b = putUint(b, m.StoreBytes)
+	return b
+}
+
+func (m *HelloReply) decode(b []byte) error {
+	var err error
+	if m.Name, b, err = getString(b); err != nil {
+		return err
+	}
+	var v uint64
+	if v, b, err = getUint(b); err != nil {
+		return err
+	}
+	m.NumDocs = uint32(v)
+	if v, b, err = getUint(b); err != nil {
+		return err
+	}
+	m.NumTerms = uint32(v)
+	if m.IndexBytes, b, err = getUint(b); err != nil {
+		return err
+	}
+	if m.VocabBytes, b, err = getUint(b); err != nil {
+		return err
+	}
+	if m.StoreBytes, b, err = getUint(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeHelloReply)
+}
+
+// Type implements Message.
+func (*VocabRequest) Type() MsgType { return TypeVocabRequest }
+
+func (*VocabRequest) encode(b []byte) []byte { return b }
+
+func (*VocabRequest) decode(b []byte) error { return expectEmpty(b, TypeVocabRequest) }
+
+// Type implements Message.
+func (*VocabReply) Type() MsgType { return TypeVocabReply }
+
+func (m *VocabReply) encode(b []byte) []byte {
+	b = putUint(b, uint64(len(m.Terms)))
+	// Front-code terms against their predecessor: vocabularies are sorted,
+	// so shared prefixes dominate and the CV preprocessing transfer stays
+	// close to the on-disk dictionary size.
+	prev := ""
+	for _, ts := range m.Terms {
+		shared := sharedPrefixLen(prev, ts.Term)
+		b = putUint(b, uint64(shared))
+		b = putString(b, ts.Term[shared:])
+		b = putUint(b, uint64(ts.FT))
+		prev = ts.Term
+	}
+	return b
+}
+
+func (m *VocabReply) decode(b []byte) error {
+	n, b, err := getUint(b)
+	if err != nil {
+		return err
+	}
+	m.Terms = make([]TermStat, 0, capHint(n, len(b), 3))
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		var shared uint64
+		if shared, b, err = getUint(b); err != nil {
+			return err
+		}
+		if shared > uint64(len(prev)) {
+			return ErrShortPayload
+		}
+		var suffix string
+		if suffix, b, err = getString(b); err != nil {
+			return err
+		}
+		term := prev[:shared] + suffix
+		var ft uint64
+		if ft, b, err = getUint(b); err != nil {
+			return err
+		}
+		m.Terms = append(m.Terms, TermStat{Term: term, FT: uint32(ft)})
+		prev = term
+	}
+	return expectEmpty(b, TypeVocabReply)
+}
+
+func sharedPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Type implements Message.
+func (*RankQuery) Type() MsgType { return TypeRankQuery }
+
+func (m *RankQuery) encode(b []byte) []byte {
+	b = putString(b, m.Query)
+	b = putUint(b, uint64(m.K))
+	b = putWeights(b, m.Weights)
+	return b
+}
+
+func (m *RankQuery) decode(b []byte) error {
+	var err error
+	if m.Query, b, err = getString(b); err != nil {
+		return err
+	}
+	var k uint64
+	if k, b, err = getUint(b); err != nil {
+		return err
+	}
+	m.K = uint32(k)
+	if m.Weights, b, err = getWeights(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeRankQuery)
+}
+
+// Type implements Message.
+func (*RankReply) Type() MsgType { return TypeRankReply }
+
+func (m *RankReply) encode(b []byte) []byte {
+	b = putUint(b, uint64(len(m.Results)))
+	for _, r := range m.Results {
+		b = putUint(b, uint64(r.Doc))
+		b = putFloat(b, r.Score)
+	}
+	b = putStats(b, m.Stats)
+	return b
+}
+
+func (m *RankReply) decode(b []byte) error {
+	n, b, err := getUint(b)
+	if err != nil {
+		return err
+	}
+	m.Results = make([]ScoredDoc, 0, capHint(n, len(b), 9))
+	for i := uint64(0); i < n; i++ {
+		var doc uint64
+		if doc, b, err = getUint(b); err != nil {
+			return err
+		}
+		var score float64
+		if score, b, err = getFloat(b); err != nil {
+			return err
+		}
+		m.Results = append(m.Results, ScoredDoc{Doc: uint32(doc), Score: score})
+	}
+	if m.Stats, b, err = getStats(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeRankReply)
+}
+
+// Type implements Message.
+func (*ScoreDocs) Type() MsgType { return TypeScoreDocs }
+
+func (m *ScoreDocs) encode(b []byte) []byte {
+	b = putString(b, m.Query)
+	b = putUint(b, uint64(len(m.Docs)))
+	// Delta-code doc ids; requests are sorted by the receptionist.
+	prev := uint64(0)
+	for _, d := range m.Docs {
+		b = putUint(b, uint64(d)-prev)
+		prev = uint64(d)
+	}
+	b = putWeights(b, m.Weights)
+	return b
+}
+
+func (m *ScoreDocs) decode(b []byte) error {
+	var err error
+	if m.Query, b, err = getString(b); err != nil {
+		return err
+	}
+	n, b, err := getUint(b)
+	if err != nil {
+		return err
+	}
+	m.Docs = make([]uint32, 0, capHint(n, len(b), 1))
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var gap uint64
+		if gap, b, err = getUint(b); err != nil {
+			return err
+		}
+		prev += gap
+		m.Docs = append(m.Docs, uint32(prev))
+	}
+	if m.Weights, b, err = getWeights(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeScoreDocs)
+}
+
+// Type implements Message.
+func (*FetchDocs) Type() MsgType { return TypeFetchDocs }
+
+func (m *FetchDocs) encode(b []byte) []byte {
+	b = putUint(b, uint64(len(m.Docs)))
+	prev := uint64(0)
+	for _, d := range m.Docs {
+		b = putUint(b, uint64(d)-prev)
+		prev = uint64(d)
+	}
+	if m.Compressed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func (m *FetchDocs) decode(b []byte) error {
+	n, b, err := getUint(b)
+	if err != nil {
+		return err
+	}
+	m.Docs = make([]uint32, 0, capHint(n, len(b), 1))
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var gap uint64
+		if gap, b, err = getUint(b); err != nil {
+			return err
+		}
+		prev += gap
+		m.Docs = append(m.Docs, uint32(prev))
+	}
+	if len(b) < 1 {
+		return ErrShortPayload
+	}
+	m.Compressed = b[0] == 1
+	return expectEmpty(b[1:], TypeFetchDocs)
+}
+
+// Type implements Message.
+func (*FetchReply) Type() MsgType { return TypeFetchReply }
+
+func (m *FetchReply) encode(b []byte) []byte {
+	b = putUint(b, uint64(len(m.Docs)))
+	for _, d := range m.Docs {
+		b = putUint(b, uint64(d.Doc))
+		b = putString(b, d.Title)
+		b = putBytes(b, d.Data)
+		if d.Compressed {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func (m *FetchReply) decode(b []byte) error {
+	n, b, err := getUint(b)
+	if err != nil {
+		return err
+	}
+	m.Docs = make([]DocBlob, 0, capHint(n, len(b), 4))
+	for i := uint64(0); i < n; i++ {
+		var blob DocBlob
+		var doc uint64
+		if doc, b, err = getUint(b); err != nil {
+			return err
+		}
+		blob.Doc = uint32(doc)
+		if blob.Title, b, err = getString(b); err != nil {
+			return err
+		}
+		if blob.Data, b, err = getBytes(b); err != nil {
+			return err
+		}
+		if len(b) < 1 {
+			return ErrShortPayload
+		}
+		blob.Compressed = b[0] == 1
+		b = b[1:]
+		m.Docs = append(m.Docs, blob)
+	}
+	return expectEmpty(b, TypeFetchReply)
+}
+
+// Type implements Message.
+func (*ModelRequest) Type() MsgType { return TypeModelRequest }
+
+func (*ModelRequest) encode(b []byte) []byte { return b }
+
+func (*ModelRequest) decode(b []byte) error { return expectEmpty(b, TypeModelRequest) }
+
+// Type implements Message.
+func (*ModelReply) Type() MsgType { return TypeModelReply }
+
+func (m *ModelReply) encode(b []byte) []byte { return putBytes(b, m.Model) }
+
+func (m *ModelReply) decode(b []byte) error {
+	var err error
+	if m.Model, b, err = getBytes(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeModelReply)
+}
+
+// Type implements Message.
+func (*BooleanQuery) Type() MsgType { return TypeBooleanQuery }
+
+func (m *BooleanQuery) encode(b []byte) []byte { return putString(b, m.Expr) }
+
+func (m *BooleanQuery) decode(b []byte) error {
+	var err error
+	if m.Expr, b, err = getString(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeBooleanQuery)
+}
+
+// Type implements Message.
+func (*BooleanReply) Type() MsgType { return TypeBooleanReply }
+
+func (m *BooleanReply) encode(b []byte) []byte {
+	b = putUint(b, uint64(len(m.Docs)))
+	prev := uint64(0)
+	for _, d := range m.Docs {
+		b = putUint(b, uint64(d)-prev)
+		prev = uint64(d)
+	}
+	return putStats(b, m.Stats)
+}
+
+func (m *BooleanReply) decode(b []byte) error {
+	n, b, err := getUint(b)
+	if err != nil {
+		return err
+	}
+	m.Docs = make([]uint32, 0, capHint(n, len(b), 1))
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var gap uint64
+		if gap, b, err = getUint(b); err != nil {
+			return err
+		}
+		prev += gap
+		m.Docs = append(m.Docs, uint32(prev))
+	}
+	if m.Stats, b, err = getStats(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeBooleanReply)
+}
+
+// Type implements Message.
+func (*IndexRequest) Type() MsgType { return TypeIndexRequest }
+
+func (*IndexRequest) encode(b []byte) []byte { return b }
+
+func (*IndexRequest) decode(b []byte) error { return expectEmpty(b, TypeIndexRequest) }
+
+// Type implements Message.
+func (*IndexReply) Type() MsgType { return TypeIndexReply }
+
+func (m *IndexReply) encode(b []byte) []byte { return putBytes(b, m.Data) }
+
+func (m *IndexReply) decode(b []byte) error {
+	var err error
+	if m.Data, b, err = getBytes(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeIndexReply)
+}
+
+// Type implements Message.
+func (*ErrorReply) Type() MsgType { return TypeError }
+
+func (m *ErrorReply) encode(b []byte) []byte { return putString(b, m.Message) }
+
+func (m *ErrorReply) decode(b []byte) error {
+	var err error
+	if m.Message, b, err = getString(b); err != nil {
+		return err
+	}
+	return expectEmpty(b, TypeError)
+}

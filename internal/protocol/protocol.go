@@ -1,0 +1,454 @@
+// Package protocol defines the binary wire protocol spoken between
+// receptionists and librarians. Frames are length-prefixed so a session can
+// run over any stream transport (TCP, an in-process pipe, or the simulated
+// links in package simnet).
+//
+// Frame layout (little endian):
+//
+//	length u32 (payload bytes, excluding the 5-byte header)
+//	type   u8
+//	payload
+//
+// Message payloads use a compact hand-rolled encoding: vbyte integers,
+// length-prefixed strings, IEEE-754 float64 bits. Every message reports its
+// encoded size back to the caller so the experiments can account for traffic
+// byte-for-byte.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"teraphim/internal/codec"
+	"teraphim/internal/search"
+)
+
+// MaxFrameSize bounds a frame payload; larger frames are rejected as
+// corrupt. Generous enough for a full vocabulary exchange.
+const MaxFrameSize = 64 << 20
+
+// MsgType identifies the message in a frame.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeHelloReply
+	TypeVocabRequest
+	TypeVocabReply
+	TypeRankQuery
+	TypeRankReply
+	TypeScoreDocs
+	TypeFetchDocs
+	TypeFetchReply
+	TypeError
+	TypeModelRequest
+	TypeModelReply
+	TypeBooleanQuery
+	TypeBooleanReply
+	TypeIndexRequest
+	TypeIndexReply
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "Hello"
+	case TypeHelloReply:
+		return "HelloReply"
+	case TypeVocabRequest:
+		return "VocabRequest"
+	case TypeVocabReply:
+		return "VocabReply"
+	case TypeRankQuery:
+		return "RankQuery"
+	case TypeRankReply:
+		return "RankReply"
+	case TypeScoreDocs:
+		return "ScoreDocs"
+	case TypeFetchDocs:
+		return "FetchDocs"
+	case TypeFetchReply:
+		return "FetchReply"
+	case TypeError:
+		return "Error"
+	case TypeModelRequest:
+		return "ModelRequest"
+	case TypeModelReply:
+		return "ModelReply"
+	case TypeBooleanQuery:
+		return "BooleanQuery"
+	case TypeBooleanReply:
+		return "BooleanReply"
+	case TypeIndexRequest:
+		return "IndexRequest"
+	case TypeIndexReply:
+		return "IndexReply"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is any protocol message.
+type Message interface {
+	Type() MsgType
+	encode(b []byte) []byte
+	decode(b []byte) error
+}
+
+// ErrShortPayload is returned when a payload ends before its message does.
+var ErrShortPayload = errors.New("protocol: truncated payload")
+
+// Hello requests librarian identification and collection statistics.
+type Hello struct{}
+
+// HelloReply describes a librarian's collection.
+type HelloReply struct {
+	Name       string
+	NumDocs    uint32
+	NumTerms   uint32
+	IndexBytes uint64
+	VocabBytes uint64
+	StoreBytes uint64
+}
+
+// TermStat is one vocabulary entry: a term and its document frequency.
+type TermStat struct {
+	Term string
+	FT   uint32
+}
+
+// VocabRequest asks for the librarian's full vocabulary (the CV
+// receptionist's preprocessing step).
+type VocabRequest struct{}
+
+// VocabReply carries the vocabulary, sorted by term.
+type VocabReply struct {
+	Terms []TermStat
+}
+
+// RankQuery asks a librarian for its top-K ranking. Nil Weights means the
+// librarian must use its own local statistics (CN); non-nil Weights carry
+// the receptionist's global w_{q,t} values (CV).
+type RankQuery struct {
+	Query   string
+	K       uint32
+	Weights map[string]float64
+}
+
+// ScoredDoc is one (local document id, similarity) pair.
+type ScoredDoc struct {
+	Doc   uint32
+	Score float64
+}
+
+// RankReply returns a ranking (or the scores of nominated documents) along
+// with the evaluation statistics the cost model consumes.
+type RankReply struct {
+	Results []ScoredDoc
+	Stats   search.Stats
+}
+
+// ScoreDocs asks for exact similarities of the nominated local documents
+// (the CI librarian fast path). Weights follow RankQuery conventions.
+type ScoreDocs struct {
+	Query   string
+	Docs    []uint32
+	Weights map[string]float64
+}
+
+// FetchDocs requests document texts. Compressed selects wire format: true
+// ships the stored compressed blobs (decompressed receptionist-side), false
+// ships plain text.
+type FetchDocs struct {
+	Docs       []uint32
+	Compressed bool
+}
+
+// DocBlob is one returned document.
+type DocBlob struct {
+	Doc        uint32
+	Title      string
+	Data       []byte // plain text or compressed blob per FetchDocs.Compressed
+	Compressed bool
+}
+
+// FetchReply returns requested documents.
+type FetchReply struct {
+	Docs []DocBlob
+}
+
+// ErrorReply reports a librarian-side failure.
+type ErrorReply struct {
+	Message string
+}
+
+// ModelRequest asks for the librarian's document-compression model so the
+// receptionist can expand compressed document transfers locally (a one-time
+// setup cost that Table 4's compressed-transfer mode amortises).
+type ModelRequest struct{}
+
+// ModelReply carries the serialised text-compression model.
+type ModelReply struct {
+	Model []byte
+}
+
+// BooleanQuery asks a librarian to evaluate a Boolean expression against
+// its subcollection. Distributed Boolean evaluation needs no global
+// information: the collection-wide answer is the union of the
+// subcollection answers (§1 of the paper).
+type BooleanQuery struct {
+	Expr string
+}
+
+// BooleanReply returns the matching local document ids, sorted ascending.
+type BooleanReply struct {
+	Docs  []uint32
+	Stats search.Stats
+}
+
+// IndexRequest asks a librarian for its complete inverted index — the
+// transfer behind the Central Index methodology's offline preprocessing,
+// in which "the receptionist has full access to the indexes of the
+// subcollections".
+type IndexRequest struct{}
+
+// IndexReply carries the index in its on-disk serialised form
+// (index.WriteTo); the receptionist decodes it with index.ReadFrom.
+type IndexReply struct {
+	Data []byte
+}
+
+// RemoteError is the receptionist-side error produced when a librarian
+// answers with an ErrorReply.
+type RemoteError struct {
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("protocol: remote error: %s", e.Message)
+}
+
+// WriteMessage frames and writes msg, returning the total bytes written
+// (header included).
+func WriteMessage(w io.Writer, msg Message) (int, error) {
+	payload := msg.encode(nil)
+	if len(payload) > MaxFrameSize {
+		return 0, fmt.Errorf("protocol: %v payload of %d bytes exceeds limit", msg.Type(), len(payload))
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = byte(msg.Type())
+	n, err := w.Write(append(hdr, payload...))
+	if err != nil {
+		return n, fmt.Errorf("protocol: write %v: %w", msg.Type(), err)
+	}
+	return n, nil
+}
+
+// ReadMessage reads one frame and decodes it, returning the message and the
+// total bytes read.
+func ReadMessage(r io.Reader) (Message, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("protocol: read header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	if length > MaxFrameSize {
+		return nil, 5, fmt.Errorf("protocol: frame of %d bytes exceeds limit", length)
+	}
+	msgType := MsgType(hdr[4])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 5, fmt.Errorf("protocol: read %v payload: %w", msgType, err)
+	}
+	msg, err := newMessage(msgType)
+	if err != nil {
+		return nil, 5 + int(length), err
+	}
+	if err := msg.decode(payload); err != nil {
+		return nil, 5 + int(length), fmt.Errorf("protocol: decode %v: %w", msgType, err)
+	}
+	return msg, 5 + int(length), nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeHelloReply:
+		return &HelloReply{}, nil
+	case TypeVocabRequest:
+		return &VocabRequest{}, nil
+	case TypeVocabReply:
+		return &VocabReply{}, nil
+	case TypeRankQuery:
+		return &RankQuery{}, nil
+	case TypeRankReply:
+		return &RankReply{}, nil
+	case TypeScoreDocs:
+		return &ScoreDocs{}, nil
+	case TypeFetchDocs:
+		return &FetchDocs{}, nil
+	case TypeFetchReply:
+		return &FetchReply{}, nil
+	case TypeError:
+		return &ErrorReply{}, nil
+	case TypeModelRequest:
+		return &ModelRequest{}, nil
+	case TypeModelReply:
+		return &ModelReply{}, nil
+	case TypeBooleanQuery:
+		return &BooleanQuery{}, nil
+	case TypeBooleanReply:
+		return &BooleanReply{}, nil
+	case TypeIndexRequest:
+		return &IndexRequest{}, nil
+	case TypeIndexReply:
+		return &IndexReply{}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", t)
+	}
+}
+
+// --- primitive encoders -------------------------------------------------
+
+func putUint(b []byte, v uint64) []byte { return codec.PutVByte(b, v) }
+
+func getUint(b []byte) (uint64, []byte, error) {
+	v, n, err := codec.VByte(b)
+	if err != nil {
+		return 0, b, ErrShortPayload
+	}
+	return v, b[n:], nil
+}
+
+func putString(b []byte, s string) []byte {
+	b = putUint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func getString(b []byte) (string, []byte, error) {
+	n, b, err := getUint(b)
+	if err != nil {
+		return "", b, err
+	}
+	if uint64(len(b)) < n {
+		return "", b, ErrShortPayload
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func putBytes(b []byte, p []byte) []byte {
+	b = putUint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func getBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := getUint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	if uint64(len(b)) < n {
+		return nil, b, ErrShortPayload
+	}
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out, b[n:], nil
+}
+
+func putFloat(b []byte, f float64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	return append(b, buf[:]...)
+}
+
+func getFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, b, ErrShortPayload
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func putWeights(b []byte, w map[string]float64) []byte {
+	if w == nil {
+		return putUint(b, 0)
+	}
+	// Length+1 so nil (use local stats) and empty (no weighted terms) are
+	// distinguishable on the wire.
+	b = putUint(b, uint64(len(w))+1)
+	for term, wt := range w {
+		b = putString(b, term)
+		b = putFloat(b, wt)
+	}
+	return b
+}
+
+func getWeights(b []byte) (map[string]float64, []byte, error) {
+	n, b, err := getUint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	n--
+	// Bound the map size hint by what the payload could hold (each entry
+	// is at least 9 bytes): corrupt counts must not drive allocation.
+	hint := n
+	if max := uint64(len(b)/9) + 1; hint > max {
+		hint = max
+	}
+	w := make(map[string]float64, hint)
+	for i := uint64(0); i < n; i++ {
+		var term string
+		term, b, err = getString(b)
+		if err != nil {
+			return nil, b, err
+		}
+		var wt float64
+		wt, b, err = getFloat(b)
+		if err != nil {
+			return nil, b, err
+		}
+		w[term] = wt
+	}
+	return w, b, nil
+}
+
+func putStats(b []byte, s search.Stats) []byte {
+	b = putUint(b, uint64(s.TermsLooked))
+	b = putUint(b, uint64(s.ListsFetched))
+	b = putUint(b, s.PostingsDecoded)
+	b = putUint(b, s.IndexBytesRead)
+	b = putUint(b, uint64(s.CandidateDocs))
+	return b
+}
+
+func getStats(b []byte) (search.Stats, []byte, error) {
+	var s search.Stats
+	vals := make([]uint64, 5)
+	var err error
+	for i := range vals {
+		if vals[i], b, err = getUint(b); err != nil {
+			return s, b, err
+		}
+	}
+	s.TermsLooked = int(vals[0])
+	s.ListsFetched = int(vals[1])
+	s.PostingsDecoded = vals[2]
+	s.IndexBytesRead = vals[3]
+	s.CandidateDocs = int(vals[4])
+	return s, b, nil
+}
+
+// expectEmpty returns an error when a payload has trailing bytes.
+func expectEmpty(b []byte, t MsgType) error {
+	if len(b) != 0 {
+		return fmt.Errorf("protocol: %v has %d trailing bytes", t, len(b))
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"teraphim/internal/search"
+)
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	wrote, err := WriteMessage(&buf, msg)
+	if err != nil {
+		t.Fatalf("write %v: %v", msg.Type(), err)
+	}
+	if wrote != buf.Len() {
+		t.Fatalf("WriteMessage reported %d bytes, wrote %d", wrote, buf.Len())
+	}
+	got, read, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read %v: %v", msg.Type(), err)
+	}
+	if read != wrote {
+		t.Fatalf("ReadMessage reported %d bytes, want %d", read, wrote)
+	}
+	if got.Type() != msg.Type() {
+		t.Fatalf("type changed: %v -> %v", msg.Type(), got.Type())
+	}
+	return got
+}
+
+func TestAllMessagesRoundTrip(t *testing.T) {
+	stats := search.Stats{TermsLooked: 3, ListsFetched: 2, PostingsDecoded: 456, IndexBytesRead: 789, CandidateDocs: 55}
+	msgs := []Message{
+		&Hello{},
+		&HelloReply{Name: "AP", NumDocs: 2600, NumTerms: 45000, IndexBytes: 1 << 20, VocabBytes: 9999, StoreBytes: 1 << 22},
+		&VocabRequest{},
+		&VocabReply{Terms: []TermStat{{Term: "aardvark", FT: 3}, {Term: "aardwolf", FT: 1}, {Term: "zebra", FT: 7}}},
+		&RankQuery{Query: "distributed retrieval", K: 20},
+		&RankQuery{Query: "q", K: 1000, Weights: map[string]float64{"a": 1.5, "b": 0.25}},
+		&RankQuery{Query: "q", K: 5, Weights: map[string]float64{}},
+		&RankReply{Results: []ScoredDoc{{Doc: 5, Score: 0.77}, {Doc: 9, Score: 0.11}}, Stats: stats},
+		&RankReply{},
+		&ScoreDocs{Query: "q", Docs: []uint32{1, 5, 900}, Weights: map[string]float64{"x": 2}},
+		&FetchDocs{Docs: []uint32{0, 3, 77}, Compressed: true},
+		&FetchDocs{Docs: nil, Compressed: false},
+		&FetchReply{Docs: []DocBlob{
+			{Doc: 3, Title: "AP-3", Data: []byte("hello world"), Compressed: false},
+			{Doc: 77, Title: "AP-77", Data: []byte{0x1, 0x2, 0xff}, Compressed: true},
+		}},
+		&ErrorReply{Message: "no such document"},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		want := normalize(msg)
+		gotN := normalize(got)
+		if !reflect.DeepEqual(gotN, want) {
+			t.Errorf("%v round trip:\ngot  %#v\nwant %#v", msg.Type(), gotN, want)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for comparison.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *RankReply:
+		if len(v.Results) == 0 {
+			v.Results = nil
+		}
+	case *FetchDocs:
+		if len(v.Docs) == 0 {
+			v.Docs = nil
+		}
+	case *FetchReply:
+		if len(v.Docs) == 0 {
+			v.Docs = nil
+		}
+	}
+	return m
+}
+
+func TestNilVsEmptyWeights(t *testing.T) {
+	// nil weights (CN: use local stats) and empty weights (CV: nothing
+	// weighted) must survive the wire distinctly.
+	got := roundTrip(t, &RankQuery{Query: "q", K: 1, Weights: nil})
+	if rq, ok := got.(*RankQuery); !ok || rq.Weights != nil {
+		t.Fatalf("nil weights arrived as %#v", got)
+	}
+	got = roundTrip(t, &RankQuery{Query: "q", K: 1, Weights: map[string]float64{}})
+	if rq, ok := got.(*RankQuery); !ok || rq.Weights == nil || len(rq.Weights) != 0 {
+		t.Fatalf("empty weights arrived as %#v", got)
+	}
+}
+
+func TestVocabFrontCoding(t *testing.T) {
+	// A sorted vocabulary with heavy shared prefixes must encode smaller
+	// than naive strings.
+	var terms []TermStat
+	for i := 0; i < 1000; i++ {
+		terms = append(terms, TermStat{Term: "prefixsharedacross" + strconv.Itoa(i), FT: uint32(i + 1)})
+	}
+	msg := &VocabReply{Terms: terms}
+	payload := msg.encode(nil)
+	naive := 0
+	for _, ts := range terms {
+		naive += len(ts.Term) + 4
+	}
+	if len(payload) >= naive {
+		t.Fatalf("front-coded vocab %d bytes >= naive %d", len(payload), naive)
+	}
+	var back VocabReply
+	if err := back.decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Terms, terms) {
+		t.Fatal("front-coded vocab mismatch after decode")
+	}
+}
+
+func TestCorruptFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, &ErrorReply{Message: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, _, err := ReadMessage(bytes.NewReader(raw[:3])); err == nil {
+		t.Fatal("truncated header: want error")
+	}
+	if _, _, err := ReadMessage(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Fatal("truncated payload: want error")
+	}
+	// Unknown type.
+	bad := append([]byte(nil), raw...)
+	bad[4] = 0xEE
+	if _, _, err := ReadMessage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown type: want error")
+	}
+	// Oversize frame length.
+	big := append([]byte(nil), raw...)
+	big[0], big[1], big[2], big[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := ReadMessage(bytes.NewReader(big)); err == nil {
+		t.Fatal("oversize frame: want error")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	msg := &RankQuery{Query: "q", K: 1}
+	payload := msg.encode(nil)
+	payload = append(payload, 0xAB)
+	var back RankQuery
+	if err := back.decode(payload); err == nil {
+		t.Fatal("trailing bytes: want error")
+	}
+}
+
+func TestSequentialMessagesOnStream(t *testing.T) {
+	// Several frames back to back on one stream, as in a real session.
+	var buf bytes.Buffer
+	sent := []Message{
+		&Hello{},
+		&RankQuery{Query: "alpha beta", K: 20},
+		&FetchDocs{Docs: []uint32{1, 2, 3}},
+	}
+	for _, m := range sent {
+		if _, err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range sent {
+		got, _, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("got %v, want %v", got.Type(), want.Type())
+		}
+	}
+	if _, _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("empty stream: want error")
+	}
+}
+
+func TestQuickScoreDocsDeltas(t *testing.T) {
+	f := func(raw []uint32) bool {
+		// Doc lists are sorted by contract.
+		docs := append([]uint32(nil), raw...)
+		for i := 1; i < len(docs); i++ {
+			if docs[i] < docs[i-1] {
+				docs[i] = docs[i-1]
+			}
+		}
+		msg := &ScoreDocs{Query: "q", Docs: docs}
+		payload := msg.encode(nil)
+		var back ScoreDocs
+		if err := back.decode(payload); err != nil {
+			return false
+		}
+		if len(docs) == 0 {
+			return len(back.Docs) == 0
+		}
+		return reflect.DeepEqual(back.Docs, docs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	err := &RemoteError{Message: "boom"}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestWriteToFailingWriter(t *testing.T) {
+	w := failingWriter{}
+	if _, err := WriteMessage(w, &Hello{}); err == nil {
+		t.Fatal("failing writer: want error")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func BenchmarkRankReplyRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	results := make([]ScoredDoc, 1000)
+	for i := range results {
+		results[i] = ScoredDoc{Doc: uint32(i * 3), Score: rng.Float64()}
+	}
+	msg := &RankReply{Results: results}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := WriteMessage(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeRandomBytesNeverPanics throws random payloads at every message
+// decoder: corrupt input must produce errors, never panics or hangs.
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	types := []Message{
+		&Hello{}, &HelloReply{}, &VocabRequest{}, &VocabReply{},
+		&RankQuery{}, &RankReply{}, &ScoreDocs{}, &FetchDocs{},
+		&FetchReply{}, &ErrorReply{}, &ModelRequest{}, &ModelReply{},
+		&BooleanQuery{}, &BooleanReply{}, &IndexRequest{}, &IndexReply{},
+	}
+	for trial := 0; trial < 2000; trial++ {
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		for _, msg := range types {
+			fresh, err := newMessage(msg.Type())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Must not panic; error or success are both acceptable.
+			_ = fresh.decode(payload)
+		}
+	}
+}
+
+// TestFrameStreamRandomBytes verifies the framing layer itself rejects
+// random streams cleanly.
+func TestFrameStreamRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		raw := make([]byte, rng.Intn(40))
+		rng.Read(raw)
+		_, _, _ = ReadMessage(bytes.NewReader(raw))
+	}
+}
+
+// TestAllNewMessagesRoundTripEmpty ensures every registered type can encode
+// its zero value and decode it back.
+func TestAllNewMessagesRoundTripEmpty(t *testing.T) {
+	for mt := TypeHello; mt <= TypeIndexReply; mt++ {
+		msg, err := newMessage(mt)
+		if err != nil {
+			t.Fatalf("type %v unregistered", mt)
+		}
+		var buf bytes.Buffer
+		if _, err := WriteMessage(&buf, msg); err != nil {
+			t.Fatalf("%v: write zero value: %v", mt, err)
+		}
+		back, _, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("%v: read zero value: %v", mt, err)
+		}
+		if back.Type() != mt {
+			t.Fatalf("%v round-tripped to %v", mt, back.Type())
+		}
+	}
+}

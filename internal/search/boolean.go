@@ -1,0 +1,241 @@
+package search
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper contrasts ranked queries with Boolean queries, whose distributed
+// evaluation is trivial (the union of per-librarian result sets). This file
+// supplies that Boolean evaluator so the comparison can be reproduced.
+//
+// Grammar (case-insensitive keywords):
+//
+//	expr   := orExpr
+//	orExpr := andExpr { OR andExpr }
+//	andExpr:= notExpr { AND notExpr }
+//	notExpr:= NOT notExpr | '(' expr ')' | term
+//
+// Terms pass through the engine's analyzer; a term that analyses to nothing
+// (for example a stopword) matches no documents.
+
+// BooleanQuery is a parsed Boolean expression ready for evaluation.
+type BooleanQuery struct {
+	root boolNode
+}
+
+type boolNode interface {
+	eval(e *Engine, stats *Stats) []uint32
+}
+
+type andNode struct{ left, right boolNode }
+type orNode struct{ left, right boolNode }
+type notNode struct{ child boolNode }
+type termNode struct{ term string }
+
+// ParseBoolean parses a Boolean expression using the engine's analyzer for
+// term normalisation.
+func (e *Engine) ParseBoolean(expr string) (*BooleanQuery, error) {
+	p := &boolParser{tokens: tokenizeBoolean(expr), engine: e}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.tokens) {
+		return nil, fmt.Errorf("search: trailing input at token %q", p.tokens[p.pos])
+	}
+	return &BooleanQuery{root: root}, nil
+}
+
+// EvaluateBoolean returns the sorted document ids matching the expression.
+func (e *Engine) EvaluateBoolean(q *BooleanQuery) ([]uint32, Stats) {
+	var stats Stats
+	if q == nil || q.root == nil {
+		return nil, stats
+	}
+	return q.root.eval(e, &stats), stats
+}
+
+func tokenizeBoolean(expr string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range expr {
+		switch r {
+		case '(', ')':
+			flush()
+			tokens = append(tokens, string(r))
+		case ' ', '\t', '\n', '\r':
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+type boolParser struct {
+	tokens []string
+	pos    int
+	engine *Engine
+}
+
+func (p *boolParser) peek() string {
+	if p.pos < len(p.tokens) {
+		return p.tokens[p.pos]
+	}
+	return ""
+}
+
+func (p *boolParser) parseOr() (boolNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &orNode{left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *boolParser) parseAnd() (boolNode, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.pos++
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &andNode{left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *boolParser) parseNot() (boolNode, error) {
+	tok := p.peek()
+	switch {
+	case tok == "":
+		return nil, fmt.Errorf("search: unexpected end of Boolean expression")
+	case strings.EqualFold(tok, "not"):
+		p.pos++
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{child: child}, nil
+	case tok == "(":
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("search: expected ')', got %q", p.peek())
+		}
+		p.pos++
+		return inner, nil
+	case tok == ")":
+		return nil, fmt.Errorf("search: unexpected ')'")
+	default:
+		p.pos++
+		terms := p.engine.analyzer.Terms(nil, tok)
+		if len(terms) == 0 {
+			return &termNode{term: ""}, nil
+		}
+		// A token that analyses to several terms (e.g. "on-line") becomes
+		// an implicit AND of its parts.
+		var node boolNode = &termNode{term: terms[0]}
+		for _, t := range terms[1:] {
+			node = &andNode{left: node, right: &termNode{term: t}}
+		}
+		return node, nil
+	}
+}
+
+func (n *termNode) eval(e *Engine, stats *Stats) []uint32 {
+	stats.TermsLooked++
+	if n.term == "" {
+		return nil
+	}
+	cur, err := e.ix.Cursor(n.term)
+	if err != nil {
+		return nil
+	}
+	stats.ListsFetched++
+	docs := make([]uint32, 0, cur.FT())
+	for cur.Next() {
+		docs = append(docs, cur.Posting().Doc)
+	}
+	stats.PostingsDecoded += cur.DecodedPostings
+	return docs
+}
+
+func (n *andNode) eval(e *Engine, stats *Stats) []uint32 {
+	a := n.left.eval(e, stats)
+	b := n.right.eval(e, stats)
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (n *orNode) eval(e *Engine, stats *Stats) []uint32 {
+	a := n.left.eval(e, stats)
+	b := n.right.eval(e, stats)
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (n *notNode) eval(e *Engine, stats *Stats) []uint32 {
+	excluded := n.child.eval(e, stats)
+	out := make([]uint32, 0, int(e.ix.NumDocs())-len(excluded))
+	j := 0
+	for d := uint32(0); d < e.ix.NumDocs(); d++ {
+		if j < len(excluded) && excluded[j] == d {
+			j++
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"teraphim/internal/index"
+)
+
+func buildFreqSorted(t testing.TB, docs []string) (*PrunedEngine, *Engine) {
+	t.Helper()
+	a := plainAnalyzer()
+	b := index.NewBuilder()
+	for _, d := range docs {
+		b.Add(a.Terms(nil, d))
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := index.BuildFreqSorted(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPrunedEngine(fs, a), NewEngine(ix, a)
+}
+
+// TestPrunedZeroThresholdExact pins the key correctness property: with zero
+// thresholds, frequency-sorted evaluation returns exactly the same scores
+// as the document-sorted engine.
+func TestPrunedZeroThresholdExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	docs := make([]string, 600)
+	for i := range docs {
+		var sb strings.Builder
+		for j := 0; j < 40; j++ {
+			sb.WriteString("w" + strconv.Itoa(rng.Intn(300)) + " ")
+		}
+		docs[i] = sb.String()
+	}
+	pruned, exact := buildFreqSorted(t, docs)
+	for _, q := range []string{"w1 w2 w3", "w10 w200 w299 w4 w4", "w7"} {
+		want, _, err := exact.Rank(q, 25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := pruned.Rank(q, 25, Thresholds{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %q: pruned %d results, exact %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Doc != want[i].Doc || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("query %q rank %d: pruned %+v, exact %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPrunedThresholdSavesWork verifies the Persin result's direction:
+// nonzero thresholds decode fewer postings while preserving the head of the
+// ranking.
+func TestPrunedThresholdSavesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	docs := make([]string, 2000)
+	for i := range docs {
+		var sb strings.Builder
+		// Most documents match query terms only incidentally (f_dt = 1);
+		// a few dozen "hot" documents use them heavily. This is the
+		// frequency skew real text has and that makes thresholding safe:
+		// high-ranking documents owe their scores to high-f_dt matches.
+		hot := i%67 == 0
+		for j := 0; j < 50; j++ {
+			term := "w" + strconv.Itoa(rng.Intn(150))
+			reps := 1
+			if hot && rng.Intn(6) == 0 {
+				term = "w" + strconv.Itoa(rng.Intn(5)+1) // a query term
+				reps = rng.Intn(8) + 5
+			}
+			for r := 0; r < reps; r++ {
+				sb.WriteString(term + " ")
+			}
+		}
+		docs[i] = sb.String()
+	}
+	pruned, _ := buildFreqSorted(t, docs)
+	query := "w1 w2 w3 w4 w5"
+
+	full, fullStats, err := pruned.Rank(query, 20, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, cutStats, err := pruned.Rank(query, 20, Thresholds{Insert: 0.55, Add: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutStats.PostingsDecoded >= fullStats.PostingsDecoded {
+		t.Fatalf("thresholding decoded %d postings vs full %d: no saving",
+			cutStats.PostingsDecoded, fullStats.PostingsDecoded)
+	}
+	// Top answers should overlap strongly.
+	want := map[uint32]bool{}
+	for _, r := range full[:10] {
+		want[r.Doc] = true
+	}
+	hits := 0
+	for _, r := range cut[:10] {
+		if want[r.Doc] {
+			hits++
+		}
+	}
+	if hits < 6 {
+		t.Fatalf("only %d of top-10 preserved under thresholding", hits)
+	}
+	t.Logf("postings: full %d, thresholded %d (%.1fx); top-10 overlap %d/10",
+		fullStats.PostingsDecoded, cutStats.PostingsDecoded,
+		float64(fullStats.PostingsDecoded)/float64(cutStats.PostingsDecoded), hits)
+}
+
+func TestPrunedValidation(t *testing.T) {
+	pruned, _ := buildFreqSorted(t, []string{"a b c", "b c d"})
+	if _, _, err := pruned.Rank("a", 0, Thresholds{}); err == nil {
+		t.Fatal("k=0: want error")
+	}
+	if _, _, err := pruned.Rank("!!!", 5, Thresholds{}); err != ErrEmptyQuery {
+		t.Fatalf("want ErrEmptyQuery, got %v", err)
+	}
+	results, _, err := pruned.Rank("zzz", 5, Thresholds{})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("unknown term: %v, %v", results, err)
+	}
+}
+
+func TestFreqSortedIndexProperties(t *testing.T) {
+	_, exact := buildFreqSorted(t, []string{
+		"x x x y", // x f=3
+		"x y y",   // x f=1, y f=2
+		"x x z",   // x f=2
+	})
+	fs, err := index.BuildFreqSorted(exact.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.TermFreq("x") != 3 || fs.TermFreq("absent") != 0 {
+		t.Fatalf("TermFreq wrong")
+	}
+	if fs.MaxFDT("x") != 3 {
+		t.Fatalf("MaxFDT(x) = %d, want 3", fs.MaxFDT("x"))
+	}
+	cur, err := fs.Cursor("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fdts []uint32
+	var total int
+	for {
+		fdt, docs, ok := cur.NextRun()
+		if !ok {
+			break
+		}
+		fdts = append(fdts, fdt)
+		total += len(docs)
+	}
+	if total != 3 {
+		t.Fatalf("runs covered %d postings, want 3", total)
+	}
+	for i := 1; i < len(fdts); i++ {
+		if fdts[i] >= fdts[i-1] {
+			t.Fatalf("runs not in decreasing f_dt order: %v", fdts)
+		}
+	}
+	if _, err := fs.Cursor("absent"); err == nil {
+		t.Fatal("absent term cursor: want error")
+	}
+	if _, err := fs.DocWeight(99); err == nil {
+		t.Fatal("out-of-range DocWeight: want error")
+	}
+	if fs.SizeBytes() == 0 || fs.NumDocs() != 3 {
+		t.Fatal("size/docs accessors wrong")
+	}
+}
+
+func BenchmarkPrunedRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	docs := make([]string, 3000)
+	for i := range docs {
+		var sb strings.Builder
+		for j := 0; j < 60; j++ {
+			sb.WriteString("w" + strconv.Itoa(rng.Intn(500)) + " ")
+		}
+		docs[i] = sb.String()
+	}
+	pruned, _ := buildFreqSorted(b, docs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pruned.Rank("w1 w2 w3 w4 w5 w6", 20, Thresholds{Insert: 0.1, Add: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

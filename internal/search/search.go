@@ -1,0 +1,296 @@
+// Package search implements the mono-server ranked query evaluator that each
+// librarian (and the MS baseline) runs: cosine similarity with logarithmic
+// in-document frequency, accumulator-based evaluation, and a top-k heap.
+//
+// The similarity is the one used in the paper (§2):
+//
+//	C(q,d) = Σ_{t∈q∩d} w_{q,t}·w_{d,t} / (W_q · W_d)
+//	w_{d,t} = log(f_{d,t}+1)
+//	w_{q,t} = log(f_{q,t}+1) · log(N/f_t + 1)
+//
+// The collection-dependent part, log(N/f_t+1), lives entirely in the query
+// weight. Callers may therefore substitute externally supplied weights
+// (the Central Vocabulary methodology) without touching document weights.
+package search
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"teraphim/internal/index"
+	"teraphim/internal/textproc"
+)
+
+// ErrEmptyQuery is returned when a query contains no indexable terms.
+var ErrEmptyQuery = errors.New("search: query has no indexable terms")
+
+// Result is one ranked answer.
+type Result struct {
+	Doc   uint32
+	Score float64
+}
+
+// Stats captures the work a query performed, feeding the cost model of the
+// distributed experiments.
+type Stats struct {
+	TermsLooked     int    // dictionary lookups
+	ListsFetched    int    // inverted lists actually read
+	PostingsDecoded uint64 // postings decoded (skips reduce this)
+	IndexBytesRead  uint64 // compressed bytes of the lists touched
+	CandidateDocs   int    // accumulators allocated
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.TermsLooked += other.TermsLooked
+	s.ListsFetched += other.ListsFetched
+	s.PostingsDecoded += other.PostingsDecoded
+	s.IndexBytesRead += other.IndexBytesRead
+	s.CandidateDocs += other.CandidateDocs
+}
+
+// Engine evaluates queries against one collection.
+type Engine struct {
+	ix       *index.Index
+	analyzer *textproc.Analyzer
+}
+
+// NewEngine wraps an index with the analysis pipeline used at build time.
+func NewEngine(ix *index.Index, analyzer *textproc.Analyzer) *Engine {
+	return &Engine{ix: ix, analyzer: analyzer}
+}
+
+// Index exposes the underlying index (read-only usage expected).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Analyzer exposes the engine's analysis pipeline so other components (a
+// receptionist, an evaluation harness) can analyse queries identically.
+func (e *Engine) Analyzer() *textproc.Analyzer { return e.analyzer }
+
+// ParseQuery analyses raw query text into term frequencies f_{q,t}.
+func (e *Engine) ParseQuery(query string) map[string]uint32 {
+	terms := e.analyzer.Terms(nil, query)
+	freqs := make(map[string]uint32, len(terms))
+	for _, t := range terms {
+		freqs[t]++
+	}
+	return freqs
+}
+
+// LocalWeight returns this collection's w_{q,t} for a term with query
+// frequency fqt: log(f_qt+1)·log(N/f_t+1). It returns 0 when the term is
+// absent from the collection.
+func (e *Engine) LocalWeight(term string, fqt uint32) float64 {
+	ft := e.ix.TermFreq(term)
+	if ft == 0 {
+		return 0
+	}
+	n := float64(e.ix.NumDocs())
+	return math.Log(float64(fqt)+1) * math.Log(n/float64(ft)+1)
+}
+
+// QueryWeights computes the local w_{q,t} map for an analysed query.
+func (e *Engine) QueryWeights(freqs map[string]uint32) map[string]float64 {
+	weights := make(map[string]float64, len(freqs))
+	for t, fqt := range freqs {
+		if w := e.LocalWeight(t, fqt); w > 0 {
+			weights[t] = w
+		}
+	}
+	return weights
+}
+
+// queryNorm computes W_q = sqrt(Σ w_{q,t}²). A zero norm (no term matched)
+// yields 1 to avoid dividing by zero; scores are all zero in that case.
+func queryNorm(weights map[string]float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w * w
+	}
+	if sum == 0 {
+		return 1
+	}
+	return math.Sqrt(sum)
+}
+
+// Rank evaluates a ranked query and returns the top k documents in
+// decreasing score order. If weights is nil the engine derives local
+// weights (MS and CN behaviour); otherwise the supplied global weights are
+// used verbatim (CV behaviour) and terms absent from weights are skipped.
+func (e *Engine) Rank(query string, k int, weights map[string]float64) ([]Result, Stats, error) {
+	var stats Stats
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("search: k must be positive, got %d", k)
+	}
+	freqs := e.ParseQuery(query)
+	if len(freqs) == 0 {
+		return nil, stats, ErrEmptyQuery
+	}
+	if weights == nil {
+		weights = e.QueryWeights(freqs)
+	}
+	stats.TermsLooked = len(freqs)
+
+	acc := make(map[uint32]float64, 256)
+	for term := range freqs {
+		wqt := weights[term]
+		if wqt <= 0 {
+			continue
+		}
+		cur, err := e.ix.Cursor(term)
+		if err != nil {
+			// Term in the weight map but not this collection: skip.
+			continue
+		}
+		stats.ListsFetched++
+		stats.IndexBytesRead += e.listBytes(term)
+		for cur.Next() {
+			p := cur.Posting()
+			acc[p.Doc] += wqt * math.Log(float64(p.FDT)+1)
+		}
+		stats.PostingsDecoded += cur.DecodedPostings
+	}
+	stats.CandidateDocs = len(acc)
+
+	wq := queryNorm(weights)
+	results, err := e.topK(acc, k, wq)
+	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// ScoreDocs computes exact similarity scores for the nominated documents
+// only, using skip-based cursor advancement. This is the librarian-side fast
+// path of the Central Index methodology: only a fraction of each inverted
+// list is decoded. Results are returned for every requested doc (score 0 if
+// no query term matches), in the order requested.
+func (e *Engine) ScoreDocs(query string, docs []uint32, weights map[string]float64) ([]Result, Stats, error) {
+	var stats Stats
+	freqs := e.ParseQuery(query)
+	if len(freqs) == 0 {
+		return nil, stats, ErrEmptyQuery
+	}
+	if weights == nil {
+		weights = e.QueryWeights(freqs)
+	}
+	stats.TermsLooked = len(freqs)
+
+	sorted := append([]uint32(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	acc := make(map[uint32]float64, len(docs))
+
+	for term := range freqs {
+		wqt := weights[term]
+		if wqt <= 0 {
+			continue
+		}
+		cur, err := e.ix.Cursor(term)
+		if err != nil {
+			continue
+		}
+		stats.ListsFetched++
+		stats.IndexBytesRead += e.listBytes(term)
+		for _, d := range sorted {
+			if !cur.Advance(d) {
+				break
+			}
+			if p := cur.Posting(); p.Doc == d {
+				acc[d] += wqt * math.Log(float64(p.FDT)+1)
+			}
+		}
+		stats.PostingsDecoded += cur.DecodedPostings
+	}
+	stats.CandidateDocs = len(acc)
+
+	wq := queryNorm(weights)
+	out := make([]Result, len(docs))
+	for i, d := range docs {
+		wd, err := e.ix.DocWeight(d)
+		if err != nil {
+			return nil, stats, fmt.Errorf("search: score doc %d: %w", d, err)
+		}
+		score := 0.0
+		if s := acc[d]; s > 0 && wd > 0 {
+			score = s / (wq * wd)
+		}
+		out[i] = Result{Doc: d, Score: score}
+	}
+	return out, stats, nil
+}
+
+func (e *Engine) listBytes(term string) uint64 {
+	// Approximate per-list compressed size: total postings bytes scaled by
+	// the list's share of pointers. Exact sizes are private to the index;
+	// the approximation is only used for cost accounting.
+	ft := e.ix.TermFreq(term)
+	if ft == 0 || e.ix.NumPostings() == 0 {
+		return 0
+	}
+	return e.ix.SizeBytes() * uint64(ft) / e.ix.NumPostings()
+}
+
+// topK normalises accumulator values by W_q·W_d and selects the k highest
+// scoring documents via a bounded min-heap, ties broken by ascending doc id.
+func (e *Engine) topK(acc map[uint32]float64, k int, wq float64) ([]Result, error) {
+	h := make(resultHeap, 0, k)
+	for doc, s := range acc {
+		wd, err := e.ix.DocWeight(doc)
+		if err != nil {
+			return nil, fmt.Errorf("search: weight for doc %d: %w", doc, err)
+		}
+		if wd == 0 {
+			continue
+		}
+		r := Result{Doc: doc, Score: s / (wq * wd)}
+		if len(h) < k {
+			heap.Push(&h, r)
+			continue
+		}
+		if lessResult(h[0], r) {
+			h[0] = r
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Result, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		r, ok := heap.Pop(&h).(Result)
+		if !ok {
+			return nil, errors.New("search: heap corrupted")
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// lessResult orders results worst-first for the min-heap: lower score is
+// less; equal scores break toward higher doc id being less-preferred.
+func lessResult(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return lessResult(h[i], h[j]) }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SortResults orders results by decreasing score, ties by ascending doc id.
+// Exposed for receptionist-side merging.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return lessResult(rs[j], rs[i]) })
+}

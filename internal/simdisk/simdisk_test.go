@@ -1,0 +1,66 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAccessTime(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, TransferRate: 1 << 20}
+	// 5 seeks + 1 MB transfer = 50ms + 1000ms.
+	got := m.AccessTime(5, 1<<20)
+	want := 1050 * time.Millisecond
+	if got != want {
+		t.Fatalf("AccessTime = %v, want %v", got, want)
+	}
+	if m.AccessTime(0, 0) != 0 {
+		t.Fatal("zero access must cost zero")
+	}
+}
+
+func TestSharedAccessTime(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, TransferRate: 1 << 20, ContentionFactor: 2}
+	// Positioning doubles; transfer unchanged.
+	got := m.SharedAccessTime(5, 1<<20)
+	want := 1100 * time.Millisecond
+	if got != want {
+		t.Fatalf("SharedAccessTime = %v, want %v", got, want)
+	}
+	// Factor below 1 clamps to 1.
+	m.ContentionFactor = 0.5
+	if m.SharedAccessTime(5, 0) != m.AccessTime(5, 0) {
+		t.Fatal("contention factor below 1 must clamp")
+	}
+}
+
+func TestZeroTransferRate(t *testing.T) {
+	m := Model{Seek: time.Millisecond}
+	if got := m.AccessTime(2, 1<<30); got != 2*time.Millisecond {
+		t.Fatalf("zero transfer rate: %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Era1995().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Model{Seek: -1}).Validate(); err == nil {
+		t.Fatal("negative seek: want error")
+	}
+	if err := (Model{TransferRate: -1}).Validate(); err == nil {
+		t.Fatal("negative rate: want error")
+	}
+}
+
+func TestEra1995Plausible(t *testing.T) {
+	m := Era1995()
+	if m.Seek < time.Millisecond || m.Seek > 50*time.Millisecond {
+		t.Errorf("seek %v outside plausible 1995 range", m.Seek)
+	}
+	if m.TransferRate < 1<<20 || m.TransferRate > 100<<20 {
+		t.Errorf("transfer %f outside plausible 1995 range", m.TransferRate)
+	}
+	if m.ContentionFactor <= 1 {
+		t.Error("shared-disk contention must exceed 1")
+	}
+}

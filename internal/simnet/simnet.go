@@ -1,0 +1,102 @@
+// Package simnet provides in-process network links with configurable
+// latency and bandwidth, so the paper's four deployment configurations
+// (mono-disk, multi-disk, LAN, WAN) can be exercised on one machine.
+//
+// A Link wraps the two ends of a net.Pipe; writes are delivered to the
+// reader only after the simulated propagation (latency) and transmission
+// (bytes/bandwidth) delay has elapsed. Delays can be scaled down uniformly
+// (TimeScale) so that a WAN experiment with second-scale round trips runs in
+// milliseconds while preserving relative behaviour.
+package simnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// LinkConfig describes one direction of a simulated link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth in bytes per second; zero means unlimited.
+	Bandwidth float64
+	// TimeScale divides every delay; zero or one means real time. A scale
+	// of 100 runs a 1-second delay in 10 ms.
+	TimeScale float64
+}
+
+func (c LinkConfig) delayFor(bytes int) time.Duration {
+	d := c.Latency
+	if c.Bandwidth > 0 {
+		d += time.Duration(float64(bytes) / c.Bandwidth * float64(time.Second))
+	}
+	if c.TimeScale > 1 {
+		d = time.Duration(float64(d) / c.TimeScale)
+	}
+	return d
+}
+
+// Pipe returns the two ends of a bidirectional link with the given
+// symmetric configuration. Both ends satisfy net.Conn.
+func Pipe(cfg LinkConfig) (client, server net.Conn) {
+	c, s := net.Pipe()
+	return &conn{Conn: c, cfg: cfg}, &conn{Conn: s, cfg: cfg}
+}
+
+// conn delays each Write by the link's latency and transmission time before
+// handing the bytes to the underlying pipe. net.Pipe is synchronous, so the
+// sleep-then-write discipline makes delivery time behave like a
+// store-and-forward network hop.
+type conn struct {
+	net.Conn
+	cfg LinkConfig
+
+	mu sync.Mutex // serialises writes, modelling one physical link
+}
+
+// Write implements net.Conn with simulated delay.
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d := c.cfg.delayFor(len(p)); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// Dialer hands out client connections to named peers, hiding whether the
+// peer is in-process (simulated) or remote (TCP). The receptionist uses a
+// Dialer so the same code drives every experiment configuration.
+type Dialer interface {
+	Dial(name string) (net.Conn, error)
+}
+
+// MapDialer dials from a static map of connect functions.
+type MapDialer map[string]func() (net.Conn, error)
+
+// Dial implements Dialer.
+func (d MapDialer) Dial(name string) (net.Conn, error) {
+	fn, ok := d[name]
+	if !ok {
+		return nil, fmt.Errorf("simnet: unknown peer %q", name)
+	}
+	return fn()
+}
+
+// TCPDialer dials real TCP addresses: name -> host:port.
+type TCPDialer map[string]string
+
+// Dial implements Dialer.
+func (d TCPDialer) Dial(name string) (net.Conn, error) {
+	addr, ok := d[name]
+	if !ok {
+		return nil, fmt.Errorf("simnet: unknown peer %q", name)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: dial %q (%s): %w", name, addr, err)
+	}
+	return conn, nil
+}

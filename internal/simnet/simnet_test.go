@@ -1,0 +1,117 @@
+package simnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPipeDelivers(t *testing.T) {
+	client, server := Pipe(LinkConfig{})
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		if _, err := client.Write([]byte("ping")); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, 4)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	const latency = 30 * time.Millisecond
+	client, server := Pipe(LinkConfig{Latency: latency})
+	defer client.Close()
+	defer server.Close()
+
+	start := time.Now()
+	go func() {
+		_, _ = client.Write([]byte("x"))
+	}()
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < latency {
+		t.Fatalf("delivered in %v, want >= %v", elapsed, latency)
+	}
+}
+
+func TestBandwidthApplied(t *testing.T) {
+	// 1 KB at 10 KB/s should take ~100 ms.
+	client, server := Pipe(LinkConfig{Bandwidth: 10 * 1024})
+	defer client.Close()
+	defer server.Close()
+
+	payload := make([]byte, 1024)
+	start := time.Now()
+	go func() {
+		_, _ = client.Write(payload)
+	}()
+	buf := make([]byte, len(payload))
+	n := 0
+	for n < len(buf) {
+		m, err := server.Read(buf[n:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += m
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("1KB at 10KB/s delivered in %v, want ~100ms", elapsed)
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	// A 1-second latency scaled 100x must deliver in roughly 10 ms.
+	client, server := Pipe(LinkConfig{Latency: time.Second, TimeScale: 100})
+	defer client.Close()
+	defer server.Close()
+
+	start := time.Now()
+	go func() {
+		_, _ = client.Write([]byte("x"))
+	}()
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 5*time.Millisecond || elapsed > 500*time.Millisecond {
+		t.Fatalf("scaled delivery took %v, want ≈10ms", elapsed)
+	}
+}
+
+func TestDelayForComputation(t *testing.T) {
+	cfg := LinkConfig{Latency: 100 * time.Millisecond, Bandwidth: 1000}
+	// 500 bytes at 1000 B/s = 500ms transmission + 100ms latency.
+	if d := cfg.delayFor(500); d != 600*time.Millisecond {
+		t.Fatalf("delayFor = %v, want 600ms", d)
+	}
+	cfg.TimeScale = 10
+	if d := cfg.delayFor(500); d != 60*time.Millisecond {
+		t.Fatalf("scaled delayFor = %v, want 60ms", d)
+	}
+	unlimited := LinkConfig{}
+	if d := unlimited.delayFor(1 << 20); d != 0 {
+		t.Fatalf("unlimited link delay = %v", d)
+	}
+}
+
+func TestMapDialer(t *testing.T) {
+	c1, _ := net.Pipe()
+	d := MapDialer{"a": func() (net.Conn, error) { return c1, nil }}
+	conn, err := d.Dial("a")
+	if err != nil || conn != c1 {
+		t.Fatalf("Dial = %v, %v", conn, err)
+	}
+	if _, err := d.Dial("b"); err == nil {
+		t.Fatal("unknown peer: want error")
+	}
+}

@@ -1,0 +1,279 @@
+// Package store implements the compressed document store of a librarian: a
+// word-based-Huffman-compressed text archive addressed by dense document id,
+// mirroring the MG text file. The paper depends on stored documents being
+// compressed so that fetching answers over a network can ship the compressed
+// form directly ("a solution that is facilitated in TERAPHIM since all
+// documents are stored compressed").
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"teraphim/internal/huffman"
+)
+
+// Document is a stored document with its identifying metadata.
+type Document struct {
+	ID    uint32
+	Title string
+	Text  string
+}
+
+// Store is an immutable compressed document archive.
+type Store struct {
+	model   *huffman.TextModel
+	blobs   [][]byte // compressed text per doc
+	titles  []string
+	rawSize uint64 // total uncompressed text bytes, for compression reporting
+}
+
+// Build compresses docs into a Store. Documents are assigned ids 0..n-1 in
+// order; each Document.ID field is ignored on input.
+func Build(docs []Document) (*Store, error) {
+	texts := make([]string, len(docs))
+	for i, d := range docs {
+		texts[i] = d.Text
+	}
+	model, err := huffman.NewTextModel(texts)
+	if err != nil {
+		return nil, fmt.Errorf("store: train model: %w", err)
+	}
+	s := &Store{model: model, blobs: make([][]byte, len(docs)), titles: make([]string, len(docs))}
+	for i, d := range docs {
+		blob, err := model.CompressDoc(d.Text)
+		if err != nil {
+			return nil, fmt.Errorf("store: compress doc %d: %w", i, err)
+		}
+		s.blobs[i] = blob
+		s.titles[i] = d.Title
+		s.rawSize += uint64(len(d.Text))
+	}
+	return s, nil
+}
+
+// NumDocs returns the number of stored documents.
+func (s *Store) NumDocs() uint32 { return uint32(len(s.blobs)) }
+
+// Fetch returns the decompressed document with the given id.
+func (s *Store) Fetch(id uint32) (Document, error) {
+	if int(id) >= len(s.blobs) {
+		return Document{}, fmt.Errorf("store: doc %d outside collection of %d", id, len(s.blobs))
+	}
+	text, err := s.model.DecompressDoc(s.blobs[id])
+	if err != nil {
+		return Document{}, fmt.Errorf("store: decompress doc %d: %w", id, err)
+	}
+	return Document{ID: id, Title: s.titles[id], Text: text}, nil
+}
+
+// FetchCompressed returns the compressed blob for a document without
+// decompressing — the form a librarian ships over the network. The returned
+// slice must not be modified.
+func (s *Store) FetchCompressed(id uint32) ([]byte, error) {
+	if int(id) >= len(s.blobs) {
+		return nil, fmt.Errorf("store: doc %d outside collection of %d", id, len(s.blobs))
+	}
+	return s.blobs[id], nil
+}
+
+// Decompress expands a blob previously returned by FetchCompressed. It is
+// exposed so a receptionist holding the collection's model can expand
+// documents received over the wire.
+func (s *Store) Decompress(blob []byte) (string, error) {
+	return s.model.DecompressDoc(blob)
+}
+
+// Title returns a document's title without decompressing its body.
+func (s *Store) Title(id uint32) (string, error) {
+	if int(id) >= len(s.titles) {
+		return "", fmt.Errorf("store: doc %d outside collection of %d", id, len(s.titles))
+	}
+	return s.titles[id], nil
+}
+
+// CompressedSize returns the total bytes of compressed document text.
+func (s *Store) CompressedSize() uint64 {
+	var n uint64
+	for _, b := range s.blobs {
+		n += uint64(len(b))
+	}
+	return n
+}
+
+// RawSize returns the total bytes of original document text.
+func (s *Store) RawSize() uint64 { return s.rawSize }
+
+// Model exposes the trained compression model (for size accounting).
+func (s *Store) Model() *huffman.TextModel { return s.model }
+
+// File format (little endian):
+//
+//	magic "TPST" | version u32 | numDocs u32 | rawSize u64
+//	modelLen u32 | model bytes
+//	per doc: titleLen u32 | title | blobLen u32 | blob
+const (
+	storeMagic   = "TPST"
+	storeVersion = 1
+)
+
+// WriteTo serialises the store.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	cw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := cw.Write(p)
+		n += int64(m)
+		return err
+	}
+	put32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return write(b[:])
+	}
+	if err := write([]byte(storeMagic)); err != nil {
+		return n, err
+	}
+	if err := put32(storeVersion); err != nil {
+		return n, err
+	}
+	if err := put32(uint32(len(s.blobs))); err != nil {
+		return n, err
+	}
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], s.rawSize)
+	if err := write(raw[:]); err != nil {
+		return n, err
+	}
+	model := s.model.Marshal()
+	if err := put32(uint32(len(model))); err != nil {
+		return n, err
+	}
+	if err := write(model); err != nil {
+		return n, err
+	}
+	for i, blob := range s.blobs {
+		if err := put32(uint32(len(s.titles[i]))); err != nil {
+			return n, err
+		}
+		if err := write([]byte(s.titles[i])); err != nil {
+			return n, err
+		}
+		if err := put32(uint32(len(blob))); err != nil {
+			return n, err
+		}
+		if err := write(blob); err != nil {
+			return n, err
+		}
+	}
+	return n, cw.Flush()
+}
+
+// ReadFrom deserialises a store written by WriteTo.
+func ReadFrom(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	get32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: read magic: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("store: bad magic %q", magic)
+	}
+	version, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if version != storeVersion {
+		return nil, fmt.Errorf("store: unsupported version %d", version)
+	}
+	numDocs, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	var raw [8]byte
+	if _, err := io.ReadFull(br, raw[:]); err != nil {
+		return nil, fmt.Errorf("store: read raw size: %w", err)
+	}
+	rawSize := binary.LittleEndian.Uint64(raw[:])
+	modelLen, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	modelBytes, err := readChunked(br, uint64(modelLen))
+	if err != nil {
+		return nil, fmt.Errorf("store: read model: %w", err)
+	}
+	model, err := huffman.UnmarshalTextModel(modelBytes)
+	if err != nil {
+		return nil, fmt.Errorf("store: decode model: %w", err)
+	}
+	// Counts and lengths are untrusted: grow incrementally with bounded
+	// hints so corrupt headers fail on short input rather than allocating
+	// the claimed sizes.
+	s := &Store{
+		model:   model,
+		blobs:   make([][]byte, 0, boundedHint(uint64(numDocs))),
+		titles:  make([]string, 0, boundedHint(uint64(numDocs))),
+		rawSize: rawSize,
+	}
+	for i := uint32(0); i < numDocs; i++ {
+		tlen, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("store: doc %d title len: %w", i, err)
+		}
+		title, err := readChunked(br, uint64(tlen))
+		if err != nil {
+			return nil, fmt.Errorf("store: doc %d title: %w", i, err)
+		}
+		s.titles = append(s.titles, string(title))
+		blen, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("store: doc %d blob len: %w", i, err)
+		}
+		blob, err := readChunked(br, uint64(blen))
+		if err != nil {
+			return nil, fmt.Errorf("store: doc %d blob: %w", i, err)
+		}
+		s.blobs = append(s.blobs, blob)
+	}
+	return s, nil
+}
+
+// boundedHint caps an untrusted count used as an allocation capacity hint.
+func boundedHint(n uint64) int {
+	const maxHint = 1 << 16
+	if n > maxHint {
+		return maxHint
+	}
+	return int(n)
+}
+
+// readChunked reads exactly n bytes in bounded steps so that an inflated
+// length in a corrupt header fails on short input instead of pre-allocating
+// the claimed size.
+func readChunked(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	out := make([]byte, 0, boundedHint(n))
+	for n > 0 {
+		step := n
+		if step > chunk {
+			step = chunk
+		}
+		buf := make([]byte, step)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		n -= step
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func sampleDocs() []Document {
+	return []Document{
+		{Title: "AP-1", Text: "The quick brown fox jumps over the lazy dog."},
+		{Title: "FR-1", Text: "Federal regulations require careful reading.\nSection 2: compliance."},
+		{Title: "WSJ-1", Text: "Markets rallied today as distributed systems stocks surged."},
+		{Title: "ZIFF-1", Text: ""},
+	}
+}
+
+func TestBuildAndFetch(t *testing.T) {
+	s, err := Build(sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDocs() != 4 {
+		t.Fatalf("NumDocs = %d", s.NumDocs())
+	}
+	for i, want := range sampleDocs() {
+		got, err := s.Fetch(uint32(i))
+		if err != nil {
+			t.Fatalf("Fetch(%d): %v", i, err)
+		}
+		if got.Text != want.Text || got.Title != want.Title || got.ID != uint32(i) {
+			t.Fatalf("Fetch(%d) = %+v", i, got)
+		}
+	}
+	if _, err := s.Fetch(4); err == nil {
+		t.Fatal("out-of-range fetch: want error")
+	}
+	title, err := s.Title(2)
+	if err != nil || title != "WSJ-1" {
+		t.Fatalf("Title(2) = %q, %v", title, err)
+	}
+	if _, err := s.Title(9); err == nil {
+		t.Fatal("out-of-range title: want error")
+	}
+}
+
+func TestFetchCompressedAndDecompress(t *testing.T) {
+	s, err := Build(sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.FetchCompressed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := s.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != sampleDocs()[1].Text {
+		t.Fatalf("Decompress mismatch: %q", text)
+	}
+	if _, err := s.FetchCompressed(99); err == nil {
+		t.Fatal("out-of-range compressed fetch: want error")
+	}
+}
+
+func TestCompressionEffective(t *testing.T) {
+	// Large repetitive corpus: compressed size must be well under raw.
+	var docs []Document
+	for i := 0; i < 50; i++ {
+		docs = append(docs, Document{
+			Title: fmt.Sprintf("doc-%d", i),
+			Text:  strings.Repeat("distributed information retrieval systems are fast and effective ", 30),
+		})
+	}
+	s, err := Build(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CompressedSize()*2 > s.RawSize() {
+		t.Fatalf("compressed %d vs raw %d: expected < 50%%", s.CompressedSize(), s.RawSize())
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	s1, err := Build(sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s1.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumDocs() != s1.NumDocs() || s2.RawSize() != s1.RawSize() {
+		t.Fatalf("header mismatch: docs %d/%d raw %d/%d",
+			s2.NumDocs(), s1.NumDocs(), s2.RawSize(), s1.RawSize())
+	}
+	for i := uint32(0); i < s1.NumDocs(); i++ {
+		d1, err1 := s1.Fetch(i)
+		d2, err2 := s2.Fetch(i)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("fetch %d: %v %v", i, err1, err2)
+		}
+		if d1 != d2 {
+			t.Fatalf("doc %d differs after reload", i)
+		}
+	}
+}
+
+func TestPersistCorrupt(t *testing.T) {
+	s, err := Build(sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadFrom(bytes.NewReader(raw[:6])); err == nil {
+		t.Fatal("truncated store: want error")
+	}
+	bad := append([]byte("NOPE"), raw[4:]...)
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic: want error")
+	}
+}
+
+func BenchmarkFetch(b *testing.B) {
+	var docs []Document
+	for i := 0; i < 100; i++ {
+		docs = append(docs, Document{
+			Title: fmt.Sprintf("d%d", i),
+			Text:  strings.Repeat("some moderately interesting document text with variety ", 40),
+		})
+	}
+	s, err := Build(docs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fetch(uint32(i % 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package textproc
+
+// Stem reduces an English word to its stem using Porter's algorithm
+// (M. F. Porter, "An algorithm for suffix stripping", Program 14(3), 1980).
+// The input is expected to be lowercase; words of length ≤ 2 are returned
+// unchanged, as in the original definition.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for _, r := range word {
+		if r < 'a' || r > 'z' {
+			// Tokens containing digits or non-ASCII letters are left alone.
+			return word
+		}
+	}
+	b := []byte(word)
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isConsonant reports whether b[i] acts as a consonant in Porter's sense:
+// 'y' is a consonant when it begins the word or follows a vowel.
+func isConsonant(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(b, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC (vowel–consonant) sequences in b.
+func measure(b []byte) int {
+	n := len(b)
+	i := 0
+	for i < n && isConsonant(b, i) {
+		i++
+	}
+	m := 0
+	for i < n {
+		for i < n && !isConsonant(b, i) {
+			i++
+		}
+		if i == n {
+			break
+		}
+		m++
+		for i < n && isConsonant(b, i) {
+			i++
+		}
+	}
+	return m
+}
+
+func hasVowel(b []byte) bool {
+	for i := range b {
+		if !isConsonant(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b ends with the same consonant twice.
+func endsDoubleConsonant(b []byte) bool {
+	n := len(b)
+	return n >= 2 && b[n-1] == b[n-2] && isConsonant(b, n-1)
+}
+
+// endsCVC reports whether b ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func endsCVC(b []byte) bool {
+	n := len(b)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(b, n-3) || isConsonant(b, n-2) || !isConsonant(b, n-1) {
+		return false
+	}
+	switch b[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceSuffix swaps suffix from for to when the stem before from has
+// measure > m. It reports whether from matched (regardless of replacement).
+func replaceSuffix(b []byte, from, to string, m int) ([]byte, bool) {
+	if !hasSuffix(b, from) {
+		return b, false
+	}
+	stem := b[:len(b)-len(from)]
+	if measure(stem) > m {
+		return append(stem, to...), true
+	}
+	return b, true
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b[:len(b)-3]) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(b, "ed") && hasVowel(b[:len(b)-2]):
+		stem = b[:len(b)-2]
+	case hasSuffix(b, "ing") && hasVowel(b[:len(b)-3]):
+		stem = b[:len(b)-3]
+	default:
+		return b
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleConsonant(stem):
+		last := stem[len(stem)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b[:len(b)-1]) {
+		b[len(b)-1] = 'i'
+	}
+	return b
+}
+
+func step2(b []byte) []byte {
+	rules := []struct{ from, to string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+		{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+		{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+		{"biliti", "ble"},
+	}
+	for _, r := range rules {
+		if out, matched := replaceSuffix(b, r.from, r.to, 0); matched {
+			return out
+		}
+	}
+	return b
+}
+
+func step3(b []byte) []byte {
+	rules := []struct{ from, to string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+		{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, r := range rules {
+		if out, matched := replaceSuffix(b, r.from, r.to, 0); matched {
+			return out
+		}
+	}
+	return b
+}
+
+func step4(b []byte) []byte {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive",
+		"ize",
+	}
+	for _, s := range suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stem := b[:len(b)-len(s)]
+		if s == "ion" {
+			n := len(stem)
+			if n == 0 || (stem[n-1] != 's' && stem[n-1] != 't') {
+				return b
+			}
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return b
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stem := b[:len(b)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if hasSuffix(b, "ll") && measure(b) > 1 {
+		return b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package textproc
+
+// defaultStopwords returns the built-in English stopword set. The list is
+// the classic van Rijsbergen / SMART-style function-word list that MG-era
+// systems used for query preprocessing ("simple transformations such as
+// removal of stop-words", §2 of the paper).
+func defaultStopwords() map[string]bool {
+	words := []string{
+		"a", "about", "above", "across", "after", "afterwards", "again",
+		"against", "all", "almost", "alone", "along", "already", "also",
+		"although", "always", "am", "among", "amongst", "an", "and",
+		"another", "any", "anyhow", "anyone", "anything", "anywhere",
+		"are", "around", "as", "at", "be", "became", "because", "become",
+		"becomes", "becoming", "been", "before", "beforehand", "behind",
+		"being", "below", "beside", "besides", "between", "beyond", "both",
+		"but", "by", "can", "cannot", "could", "did", "do", "does",
+		"doing", "done", "down", "during", "each", "either", "else",
+		"elsewhere", "enough", "etc", "even", "ever", "every", "everyone",
+		"everything", "everywhere", "except", "few", "find", "first",
+		"for", "former", "formerly", "from", "further", "had", "has",
+		"have", "having", "he", "hence", "her", "here", "hereafter",
+		"hereby", "herein", "hereupon", "hers", "herself", "him",
+		"himself", "his", "how", "however", "i", "ie", "if", "in",
+		"indeed", "instead", "into", "is", "it", "its", "itself", "last",
+		"latter", "latterly", "least", "less", "let", "like", "made",
+		"many", "may", "me", "meanwhile", "might", "more", "moreover",
+		"most", "mostly", "much", "must", "my", "myself", "namely",
+		"neither", "never", "nevertheless", "next", "no", "nobody",
+		"none", "noone", "nor", "not", "nothing", "now", "nowhere", "of",
+		"off", "often", "on", "once", "one", "only", "onto", "or",
+		"other", "others", "otherwise", "our", "ours", "ourselves", "out",
+		"over", "own", "per", "perhaps", "please", "rather", "same",
+		"seem", "seemed", "seeming", "seems", "several", "she", "should",
+		"since", "so", "some", "somehow", "someone", "something",
+		"sometime", "sometimes", "somewhere", "still", "such", "than",
+		"that", "the", "their", "them", "themselves", "then", "thence",
+		"there", "thereafter", "thereby", "therefore", "therein",
+		"thereupon", "these", "they", "this", "those", "though",
+		"through", "throughout", "thru", "thus", "to", "together", "too",
+		"toward", "towards", "under", "until", "up", "upon", "us", "very",
+		"via", "was", "we", "well", "were", "what", "whatever", "when",
+		"whence", "whenever", "where", "whereafter", "whereas", "whereby",
+		"wherein", "whereupon", "wherever", "whether", "which", "while",
+		"whither", "who", "whoever", "whole", "whom", "whose", "why",
+		"will", "with", "within", "without", "would", "yet", "you",
+		"your", "yours", "yourself", "yourselves",
+	}
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}

@@ -1,0 +1,285 @@
+package trecsynth
+
+import (
+	"strings"
+	"testing"
+
+	"teraphim/internal/textproc"
+)
+
+// smallConfig keeps test runtime low.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Subs = []SubSpec{
+		{Name: "AP", NumDocs: 300},
+		{Name: "FR", NumDocs: 200},
+		{Name: "WSJ", NumDocs: 280},
+		{Name: "ZIFF", NumDocs: 240},
+	}
+	cfg.VocabSize = 3000
+	cfg.NumTopics = 20
+	cfg.NumLongQueries = 10
+	cfg.NumShortQueries = 10
+	return cfg
+}
+
+func TestGenerateShape(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Subcollections) != 4 {
+		t.Fatalf("subcollections = %d", len(c.Subcollections))
+	}
+	wantDocs := map[string]int{"AP": 300, "FR": 200, "WSJ": 280, "ZIFF": 240}
+	for _, sub := range c.Subcollections {
+		if len(sub.Docs) != wantDocs[sub.Name] {
+			t.Errorf("%s has %d docs, want %d", sub.Name, len(sub.Docs), wantDocs[sub.Name])
+		}
+		for i, d := range sub.Docs {
+			if d.ID != uint32(i) {
+				t.Fatalf("%s doc %d has ID %d", sub.Name, i, d.ID)
+			}
+			if d.Text == "" || d.Title == "" {
+				t.Fatalf("%s doc %d empty", sub.Name, i)
+			}
+		}
+	}
+	if got := len(c.QueriesOf(LongQuery)); got != 10 {
+		t.Errorf("long queries = %d", got)
+	}
+	if got := len(c.QueriesOf(ShortQuery)); got != 10 {
+		t.Errorf("short queries = %d", got)
+	}
+	docs, keys := c.AllDocs()
+	if len(docs) != 1020 || len(keys) != 1020 {
+		t.Fatalf("AllDocs = %d docs, %d keys", len(docs), len(keys))
+	}
+	if keys[0] != "AP:0" || keys[300] != "FR:0" {
+		t.Fatalf("key layout wrong: %s, %s", keys[0], keys[300])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c1, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Subcollections[0].Docs[5].Text != c2.Subcollections[0].Docs[5].Text {
+		t.Fatal("generation not deterministic")
+	}
+	if c1.Queries[3].Text != c2.Queries[3].Text {
+		t.Fatal("queries not deterministic")
+	}
+}
+
+func TestQrelsPopulated(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	judged := 0
+	var total int
+	for _, q := range c.Queries {
+		n := c.Qrels.NumRelevant(q.ID)
+		if n > 0 {
+			judged++
+		}
+		total += n
+	}
+	if judged < len(c.Queries)/2 {
+		t.Fatalf("only %d of %d queries have relevant docs", judged, len(c.Queries))
+	}
+	if total == 0 {
+		t.Fatal("no relevance judgements at all")
+	}
+}
+
+func TestQueryLengths(t *testing.T) {
+	cfg := smallConfig()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range c.Queries {
+		n := len(strings.Fields(q.Text))
+		switch q.Kind {
+		case ShortQuery:
+			if n != cfg.ShortQueryLen {
+				t.Errorf("short query %s has %d terms", q.ID, n)
+			}
+		case LongQuery:
+			if n != cfg.LongQueryLen {
+				t.Errorf("long query %s has %d terms", q.ID, n)
+			}
+		}
+	}
+}
+
+// TestRelevantDocsShareQueryVocabulary checks the core property that makes
+// ranked retrieval work on the synthetic corpus: relevant documents contain
+// query terms much more often than random documents do.
+func TestRelevantDocsShareQueryVocabulary(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docByKey := map[string]string{}
+	for _, sub := range c.Subcollections {
+		for _, d := range sub.Docs {
+			docByKey[DocKey(sub.Name, d.ID)] = d.Text
+		}
+	}
+	overlap := func(query, doc string) float64 {
+		qTerms := map[string]bool{}
+		for _, w := range strings.Fields(query) {
+			qTerms[w] = true
+		}
+		words := strings.Fields(doc)
+		if len(words) == 0 {
+			return 0
+		}
+		hits := 0
+		for _, w := range words {
+			w = strings.Trim(w, ".\n")
+			if qTerms[w] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(words))
+	}
+	var relSum, allSum float64
+	var relN, allN int
+	for _, q := range c.Queries {
+		for key, text := range docByKey {
+			o := overlap(q.Text, text)
+			if c.Qrels.IsRelevant(q.ID, key) {
+				relSum += o
+				relN++
+			} else {
+				allSum += o
+				allN++
+			}
+		}
+	}
+	if relN == 0 {
+		t.Fatal("no relevant docs")
+	}
+	relAvg := relSum / float64(relN)
+	allAvg := allSum / float64(allN)
+	if relAvg < 4*allAvg {
+		t.Fatalf("relevant-doc query-term density %.4f not well above background %.4f", relAvg, allAvg)
+	}
+}
+
+// TestSubcollectionSkew verifies the property that separates CN from CV:
+// topical terms are concentrated in their topic's home subcollection.
+func TestSubcollectionSkew(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each query's terms, compare document frequency in the densest
+	// subcollection against the average of the others.
+	df := func(sub Subcollection, term string) int {
+		n := 0
+		for _, d := range sub.Docs {
+			if strings.Contains(d.Text, term) {
+				n++
+			}
+		}
+		return n
+	}
+	skewed := 0
+	queries := c.QueriesOf(ShortQuery)
+	for _, q := range queries[:5] {
+		term := strings.Fields(q.Text)[0]
+		max, sum := 0, 0
+		for _, sub := range c.Subcollections {
+			n := df(sub, term)
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		if sum > 0 && float64(max) > 1.5*float64(sum)/float64(len(c.Subcollections)) {
+			skewed++
+		}
+	}
+	if skewed == 0 {
+		t.Fatal("no query term shows cross-collection skew; CN/CV distinction would vanish")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c43, err := c.Split(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c43.Subcollections) != 43 {
+		t.Fatalf("split produced %d subcollections", len(c43.Subcollections))
+	}
+	origDocs, _ := c.AllDocs()
+	splitDocs, _ := c43.AllDocs()
+	if len(origDocs) != len(splitDocs) {
+		t.Fatalf("doc count changed: %d -> %d", len(origDocs), len(splitDocs))
+	}
+	// Relevance judgements must be preserved in count.
+	for _, q := range c.Queries {
+		if c.Qrels.NumRelevant(q.ID) != c43.Qrels.NumRelevant(q.ID) {
+			t.Fatalf("query %s: relevance count changed %d -> %d",
+				q.ID, c.Qrels.NumRelevant(q.ID), c43.Qrels.NumRelevant(q.ID))
+		}
+	}
+	if _, err := c.Split(0); err == nil {
+		t.Fatal("split 0: want error")
+	}
+	if _, err := c.Split(1 << 30); err == nil {
+		t.Fatal("split too wide: want error")
+	}
+}
+
+func TestVocabSurvivesAnalysis(t *testing.T) {
+	// The no-stem analyzer used in experiments must pass generated terms
+	// through unchanged so query terms match indexed terms.
+	a := textproc.NewAnalyzer(textproc.WithoutStopwords(), textproc.WithoutStemming())
+	for _, w := range makeVocab(500) {
+		terms := a.Terms(nil, w)
+		if len(terms) != 1 || terms[0] != w {
+			t.Fatalf("vocab word %q analysed to %v", w, terms)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Config{
+		{VocabSize: 10, NumTopics: 5, Subs: []SubSpec{{Name: "A", NumDocs: 1}}, MeanDocLen: 100},
+		{VocabSize: 5000, NumTopics: 0, Subs: []SubSpec{{Name: "A", NumDocs: 1}}, MeanDocLen: 100},
+		{VocabSize: 5000, NumTopics: 5, Subs: nil, MeanDocLen: 100},
+		{VocabSize: 5000, NumTopics: 5, Subs: []SubSpec{{Name: "A", NumDocs: 0}}, MeanDocLen: 100},
+		{VocabSize: 5000, NumTopics: 5, Subs: []SubSpec{{Name: "A", NumDocs: 1}}, MeanDocLen: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := smallConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package teraphim is a pure-Go reimplementation of TERAPHIM, the
+// distributed text-retrieval system of de Kretser, Moffat, Shimmin and
+// Zobel, "Methodologies for Distributed Information Retrieval" (ICDCS
+// 1998), built on an MG-style compressed-index search engine.
+//
+// # Architecture
+//
+// A collection is divided into subcollections, each managed by an
+// independent Librarian: a mono-server engine holding a compressed inverted
+// index, a table of document weights, and a compressed document store.
+// One or more Receptionists broker user queries to librarians and merge
+// the returned rankings. Three federated methodologies are implemented:
+//
+//   - Central Nothing (CN): the receptionist knows only the librarian
+//     list; each librarian ranks with its own local statistics and the
+//     receptionist merges scores at face value.
+//   - Central Vocabulary (CV): the receptionist merges the librarians'
+//     vocabularies once, then ships global term weights with each query;
+//     result scores are identical to a monolithic system's.
+//   - Central Index (CI): the receptionist holds a grouped central index
+//     (groups of G adjacent documents indexed as pseudo-documents), ranks
+//     groups, and asks librarians to score only the expanded candidates.
+//
+// # Quick start
+//
+//	docs := []teraphim.Document{{Title: "a", Text: "hello distributed world"}}
+//	lib, _ := teraphim.BuildLibrarian("demo", docs)
+//	results, _, _ := lib.Engine().Rank("distributed", 10, nil)
+//
+// See examples/ for complete programs, including a federated deployment
+// over TCP and a simulated wide-area network.
+package teraphim
+
+import (
+	"net"
+
+	"teraphim/internal/core"
+	"teraphim/internal/eval"
+	"teraphim/internal/index"
+	"teraphim/internal/librarian"
+	"teraphim/internal/search"
+	"teraphim/internal/simnet"
+	"teraphim/internal/store"
+	"teraphim/internal/textproc"
+	"teraphim/internal/trecsynth"
+)
+
+// Core document and retrieval types.
+type (
+	// Document is a stored document: title plus text.
+	Document = store.Document
+	// Librarian manages one subcollection: index, store, query service.
+	Librarian = librarian.Librarian
+	// LibrarianServer runs a librarian behind a network listener.
+	LibrarianServer = librarian.Server
+	// BuildOptions configures BuildLibrarianWith.
+	BuildOptions = librarian.BuildOptions
+	// Receptionist brokers queries to librarians.
+	Receptionist = core.Receptionist
+	// ReceptionistConfig configures ConnectReceptionist.
+	ReceptionistConfig = core.Config
+	// Mode selects a distributed methodology (CN, CV, CI or MS).
+	Mode = core.Mode
+	// Options tunes one query evaluation.
+	Options = core.Options
+	// Result is a completed query with its merged answers and trace.
+	Result = core.Result
+	// Answer is one returned document.
+	Answer = core.Answer
+	// Trace records the protocol exchange behind one query.
+	Trace = core.Trace
+	// GroupedIndex is the CI methodology's space-reduced central index.
+	GroupedIndex = core.GroupedIndex
+	// MonoServer is the monolithic (MS) baseline.
+	MonoServer = core.MonoServer
+	// Engine is the mono-server ranked-query evaluator.
+	Engine = search.Engine
+	// SearchResult is one (document, score) pair from an Engine.
+	SearchResult = search.Result
+	// Analyzer is the document/query analysis pipeline.
+	Analyzer = textproc.Analyzer
+	// AnalyzerOption configures NewAnalyzer.
+	AnalyzerOption = textproc.Option
+	// Dialer connects a receptionist to named librarians.
+	Dialer = simnet.Dialer
+	// TCPDialer maps librarian names to host:port addresses.
+	TCPDialer = simnet.TCPDialer
+	// InProcessDialer serves librarians over in-process (optionally
+	// delay-shaped) links.
+	InProcessDialer = librarian.InProcessDialer
+	// LinkConfig shapes an in-process link's latency and bandwidth.
+	LinkConfig = simnet.LinkConfig
+	// Corpus is a generated synthetic test collection.
+	Corpus = trecsynth.Corpus
+	// CorpusConfig controls synthetic corpus generation.
+	CorpusConfig = trecsynth.Config
+	// Qrels holds relevance judgements for effectiveness evaluation.
+	Qrels = eval.Qrels
+)
+
+// Distributed methodologies.
+const (
+	ModeMS = core.ModeMS
+	ModeCN = core.ModeCN
+	ModeCV = core.ModeCV
+	ModeCI = core.ModeCI
+)
+
+// MergeStrategy selects how CN rankings are collated (see Options.Merge).
+type MergeStrategy = core.MergeStrategy
+
+// CN merge strategies.
+const (
+	MergeFaceValue  = core.MergeFaceValue
+	MergeRoundRobin = core.MergeRoundRobin
+	MergeNormalized = core.MergeNormalized
+)
+
+// BooleanResult is the union result of a distributed Boolean query.
+type BooleanResult = core.BooleanResult
+
+// Frequency-sorted retrieval (Persin-style per-query thresholding, the
+// paper's §5 future work).
+type (
+	// FreqSortedIndex is an inverted file ordered by decreasing f_dt.
+	FreqSortedIndex = index.FreqSorted
+	// PrunedEngine evaluates thresholded ranked queries over a
+	// FreqSortedIndex.
+	PrunedEngine = search.PrunedEngine
+	// Thresholds tunes pruning aggressiveness.
+	Thresholds = search.Thresholds
+)
+
+// BuildFreqSorted converts an engine's index into its frequency-sorted
+// equivalent.
+func BuildFreqSorted(e *Engine) (*FreqSortedIndex, error) {
+	return index.BuildFreqSorted(e.Index())
+}
+
+// NewPrunedEngine wraps a frequency-sorted index for thresholded ranking.
+func NewPrunedEngine(fs *FreqSortedIndex, analyzer *Analyzer) *PrunedEngine {
+	return search.NewPrunedEngine(fs, analyzer)
+}
+
+// NewAnalyzer returns the standard analysis pipeline (lowercase
+// tokenisation, English stopwords, Porter stemming); options disable
+// stages.
+func NewAnalyzer(opts ...AnalyzerOption) *Analyzer { return textproc.NewAnalyzer(opts...) }
+
+// WithoutStopwords disables stopword removal.
+func WithoutStopwords() AnalyzerOption { return textproc.WithoutStopwords() }
+
+// WithoutStemming disables the Porter stemmer.
+func WithoutStemming() AnalyzerOption { return textproc.WithoutStemming() }
+
+// WithStopwords installs a custom stopword list.
+func WithStopwords(words []string) AnalyzerOption { return textproc.WithStopwords(words) }
+
+// BuildLibrarian indexes and compresses docs into a librarian named name,
+// using the standard analyzer.
+func BuildLibrarian(name string, docs []Document) (*Librarian, error) {
+	return librarian.Build(name, docs, librarian.BuildOptions{})
+}
+
+// BuildLibrarianWith is BuildLibrarian with explicit options.
+func BuildLibrarianWith(name string, docs []Document, opts BuildOptions) (*Librarian, error) {
+	return librarian.Build(name, docs, opts)
+}
+
+// UpdatableLibrarian is a librarian whose collection can be rebuilt and
+// swapped atomically while serving — the per-subcollection update story
+// that §4 of the paper counts among distribution's management benefits.
+type UpdatableLibrarian = librarian.UpdatableLibrarian
+
+// NewUpdatableLibrarian builds the initial collection of an updatable
+// librarian.
+func NewUpdatableLibrarian(name string, docs []Document, opts BuildOptions) (*UpdatableLibrarian, error) {
+	return librarian.NewUpdatable(name, docs, opts)
+}
+
+// ServeLibrarian serves lib's collection on ln until Close.
+func ServeLibrarian(lib *Librarian, ln net.Listener) *LibrarianServer {
+	return librarian.Serve(lib, ln)
+}
+
+// SaveCollection persists a librarian's collection to a directory.
+func SaveCollection(dir string, lib *Librarian, stopwords, stemming bool) error {
+	return librarian.Save(dir, lib, librarian.SaveOptions{Stopwords: stopwords, Stemming: stemming})
+}
+
+// LoadCollection reopens a collection saved with SaveCollection.
+func LoadCollection(dir string) (*Librarian, error) { return librarian.Load(dir) }
+
+// NewInProcessDialer wires librarians to a receptionist through in-process
+// links with the given shaping (zero LinkConfig means no delay).
+func NewInProcessDialer(libs []*Librarian, cfg LinkConfig) *InProcessDialer {
+	return librarian.NewInProcessDialer(libs, cfg)
+}
+
+// ConnectReceptionist dials the named librarians (order fixes global
+// document numbering) and performs the initial Hello exchange.
+func ConnectReceptionist(dialer Dialer, names []string, cfg ReceptionistConfig) (*Receptionist, error) {
+	return core.Connect(dialer, names, cfg)
+}
+
+// BuildGroupedIndex builds the CI methodology's central grouped index from
+// the analysed term lists of every document in global order.
+func BuildGroupedIndex(docTerms [][]string, groupSize int, analyzer *Analyzer) (*GroupedIndex, error) {
+	return core.BuildGrouped(docTerms, groupSize, analyzer)
+}
+
+// NewMonoServer wraps an engine (and optional store and key table) as the
+// MS baseline.
+func NewMonoServer(engine *Engine, docs *DocumentStore, keys []string) (*MonoServer, error) {
+	return core.NewMonoServer(engine, docs, keys)
+}
+
+// DocumentStore is a compressed document archive.
+type DocumentStore = store.Store
+
+// BuildStore compresses documents into a DocumentStore.
+func BuildStore(docs []Document) (*DocumentStore, error) { return store.Build(docs) }
+
+// GenerateCorpus builds the synthetic TREC-like corpus used by the paper's
+// experiments.
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) { return trecsynth.Generate(cfg) }
+
+// DefaultCorpusConfig returns the standard experiment corpus configuration.
+func DefaultCorpusConfig() CorpusConfig { return trecsynth.DefaultConfig() }
