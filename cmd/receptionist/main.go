@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"teraphim/internal/core"
 	"teraphim/internal/simnet"
@@ -41,6 +42,11 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	boolean := fs.Bool("boolean", false, "evaluate queries as Boolean expressions (union across librarians)")
 	noStem := fs.Bool("nostem", false, "disable stemming (must match how the collections were built)")
 	noStop := fs.Bool("nostop", false, "disable stopword removal (must match how the collections were built)")
+	timeout := fs.Duration("timeout", 0, "per-exchange deadline (0 = none)")
+	retries := fs.Int("retries", 0, "extra attempts per librarian exchange after a transient failure")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt")
+	partial := fs.Bool("partial", false, "answer from surviving librarians when some fail")
+	minLibs := fs.Int("minlibs", 0, "with -partial, minimum surviving librarians per query (implies -partial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,7 +128,15 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 			fmt.Fprint(w, "query> ")
 			continue
 		}
-		res, err := recep.Query(qmode, q, *k, core.Options{Fetch: *fetch, CompressedTransfer: *compressed})
+		res, err := recep.Query(qmode, q, *k, core.Options{
+			Fetch:              *fetch,
+			CompressedTransfer: *compressed,
+			Timeout:            *timeout,
+			Retries:            *retries,
+			Backoff:            *backoff,
+			AllowPartial:       *partial,
+			MinLibrarians:      *minLibs,
+		})
 		if err != nil {
 			fmt.Fprintf(w, "error: %v\n", err)
 			fmt.Fprint(w, "query> ")
@@ -131,6 +145,16 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 		fmt.Fprintf(w, "%d answers from %d librarians (%d candidates merged, %d bytes moved)\n",
 			len(res.Answers), res.Trace.LibrariansAsked,
 			res.Trace.MergeCandidates, res.Trace.BytesTransferred(0))
+		if res.Trace.Degraded {
+			fmt.Fprintf(w, "DEGRADED: answered without %d librarian(s)\n", len(res.Trace.Failures))
+			for _, f := range res.Trace.Failures {
+				fmt.Fprintf(w, "  %s failed in %s phase after %d attempt(s): %v\n",
+					f.Librarian, f.Phase, f.Attempts, f.Err)
+			}
+		}
+		if retried := res.Trace.RetryAttempts(); retried > 0 {
+			fmt.Fprintf(w, "recovered after %d retried exchange(s)\n", retried)
+		}
 		for i, a := range res.Answers {
 			fmt.Fprintf(w, "%3d. %-24s %.4f", i+1, a.Key(), a.Score)
 			if a.Title != "" {

@@ -44,6 +44,11 @@ func run(w io.Writer, args []string) error {
 	n := fs.Int("n", 200, "total queries to issue")
 	k := fs.Int("k", 20, "answers per query")
 	fetch := fs.Bool("fetch", false, "retrieve documents too")
+	timeout := fs.Duration("timeout", 0, "per-exchange deadline (0 = none)")
+	retries := fs.Int("retries", 0, "extra attempts per librarian exchange after a transient failure")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt")
+	partial := fs.Bool("partial", false, "answer from surviving librarians when some fail")
+	minLibs := fs.Int("minlibs", 0, "with -partial, minimum surviving librarians per query (implies -partial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,7 +87,16 @@ func run(w io.Writer, args []string) error {
 		names = append(names, name)
 	}
 
-	report, err := drive(dialer, names, qmode, queries, *clients, *n, *k, *fetch)
+	opts := core.Options{
+		Fetch:              *fetch,
+		CompressedTransfer: false,
+		Timeout:            *timeout,
+		Retries:            *retries,
+		Backoff:            *backoff,
+		AllowPartial:       *partial,
+		MinLibrarians:      *minLibs,
+	}
+	report, err := drive(dialer, names, qmode, queries, *clients, *n, *k, opts)
 	if err != nil {
 		return err
 	}
@@ -92,6 +106,11 @@ func run(w io.Writer, args []string) error {
 	fmt.Fprintf(w, "latency p50     %10.2fms\n", ms(report.p50))
 	fmt.Fprintf(w, "latency p90     %10.2fms\n", ms(report.p90))
 	fmt.Fprintf(w, "latency p99     %10.2fms\n", ms(report.p99))
+	if report.degraded > 0 || report.retried > 0 {
+		fmt.Fprintf(w, "degraded        %10d queries (librarian failures tolerated)\n", report.degraded)
+		fmt.Fprintf(w, "lib failures    %10d\n", report.libFailures)
+		fmt.Fprintf(w, "retried calls   %10d\n", report.retried)
+	}
 	return nil
 }
 
@@ -100,12 +119,17 @@ type report struct {
 	elapsed       time.Duration
 	throughput    float64
 	p50, p90, p99 time.Duration
+	// Fault-tolerance tallies: queries answered degraded, individual
+	// librarian failures tolerated, and exchanges that needed a retry.
+	degraded    int
+	libFailures int
+	retried     int
 }
 
 // drive runs the benchmark: clients pull query indexes from a shared
 // channel, each with its own receptionist session.
 func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []string,
-	clients, n, k int, fetch bool) (report, error) {
+	clients, n, k int, opts core.Options) (report, error) {
 	work := make(chan int)
 	go func() {
 		defer close(work)
@@ -115,6 +139,7 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	}()
 
 	latencies := make([]time.Duration, 0, n)
+	var degraded, libFailures, retried int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -135,15 +160,20 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 					return
 				}
 			}
-			opts := core.Options{Fetch: fetch, CompressedTransfer: false}
 			for i := range work {
 				qStart := time.Now()
-				if _, err := recep.Query(mode, queries[i%len(queries)], k, opts); err != nil {
+				res, err := recep.Query(mode, queries[i%len(queries)], k, opts)
+				if err != nil {
 					errs <- fmt.Errorf("query %d: %w", i, err)
 					return
 				}
 				mu.Lock()
 				latencies = append(latencies, time.Since(qStart))
+				if res.Trace.Degraded {
+					degraded++
+					libFailures += len(res.Trace.Failures)
+				}
+				retried += res.Trace.RetryAttempts()
 				mu.Unlock()
 			}
 			errs <- nil
@@ -159,7 +189,8 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	rep := report{completed: len(latencies), elapsed: elapsed}
+	rep := report{completed: len(latencies), elapsed: elapsed,
+		degraded: degraded, libFailures: libFailures, retried: retried}
 	if elapsed > 0 {
 		rep.throughput = float64(len(latencies)) / elapsed.Seconds()
 	}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"teraphim"
@@ -120,5 +122,77 @@ func run() error {
 	}
 	fmt.Println("\nAs the paper found: wide-area response time is dominated by link latency,")
 	fmt.Println("not by computation — handshaking must be kept to an absolute minimum.")
+
+	// On a real WAN, sites also disappear: the paper's Tel Aviv link was the
+	// slowest and flakiest. Demonstrate degraded operation — WSJ answers its
+	// setup exchanges and then drops off the network for good; with
+	// AllowPartial the receptionist retries, gives up, and still answers the
+	// query from the three surviving sites.
+	fmt.Println("\nDegraded operation: the Tel Aviv librarian (WSJ) dies after setup:")
+	flaky := &flakySite{inner: dialer, site: "WSJ", writesLeft: 2} // Hello + vocabulary
+	recep2, err := teraphim.ConnectReceptionist(flaky, names, teraphim.ReceptionistConfig{Analyzer: analyzer})
+	if err != nil {
+		return err
+	}
+	defer recep2.Close()
+	if _, err := recep2.SetupVocabulary(); err != nil {
+		return err
+	}
+	res, err := recep2.Query(teraphim.ModeCV, queries[0].Text, 5, teraphim.Options{
+		Retries:      1,
+		Backoff:      10 * time.Millisecond,
+		AllowPartial: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  query %s: %d answers from the survivors (degraded=%v)\n",
+		queries[0].ID, len(res.Answers), res.Trace.Degraded)
+	for _, f := range res.Trace.Failures {
+		fmt.Printf("  lost %s in the %s phase after %d attempt(s): %v\n",
+			f.Librarian, f.Phase, f.Attempts, f.Err)
+	}
 	return nil
+}
+
+// flakySite fails one site mid-session: its first connection permits
+// writesLeft writes (enough for the setup exchanges) before the link drops,
+// and every redial is refused.
+type flakySite struct {
+	inner teraphim.Dialer
+	site  string
+	// writesLeft counts protocol messages the first connection will accept;
+	// dialed tracks whether the one doomed connection was already handed out.
+	writesLeft int
+	dialed     bool
+}
+
+func (f *flakySite) Dial(name string) (net.Conn, error) {
+	if name != f.site {
+		return f.inner.Dial(name)
+	}
+	if f.dialed {
+		return nil, errors.New("no route to host")
+	}
+	f.dialed = true
+	conn, err := f.inner.Dial(name)
+	if err != nil {
+		return nil, err
+	}
+	return &dyingConn{Conn: conn, writesLeft: f.writesLeft}, nil
+}
+
+// dyingConn forwards writesLeft whole messages, then fails every write —
+// each protocol.WriteMessage issues exactly one Write call.
+type dyingConn struct {
+	net.Conn
+	writesLeft int
+}
+
+func (c *dyingConn) Write(p []byte) (int, error) {
+	if c.writesLeft <= 0 {
+		return 0, errors.New("link down")
+	}
+	c.writesLeft--
+	return c.Conn.Write(p)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -151,6 +152,297 @@ func TestSetupVocabularyAgainstCrashedLibrarian(t *testing.T) {
 	defer recep.Close()
 	if _, err := recep.SetupVocabulary(); err == nil {
 		t.Fatal("vocabulary fetch from crashed librarian: want error")
+	}
+}
+
+// fourLibCorpus builds a deterministic four-librarian corpus where every
+// document carries one common term, so every librarian answers every query.
+func fourLibCorpus() (map[string][]store.Document, []string) {
+	order := []string{"AP", "FR", "WSJ", "ZIFF"}
+	topics := map[string]string{"AP": "avalanche", "FR": "fiscal", "WSJ": "widget", "ZIFF": "zeppelin"}
+	corpus := map[string][]store.Document{}
+	for _, name := range order {
+		for d := 0; d < 6; d++ {
+			corpus[name] = append(corpus[name], store.Document{
+				ID:    uint32(d),
+				Title: fmt.Sprintf("%s-%d", name, d),
+				Text:  fmt.Sprintf("shared %s retrieval document number%d", topics[name], d),
+			})
+		}
+	}
+	return corpus, order
+}
+
+// deadAfterSetup dials a librarian that answers its setup exchanges and then
+// dies for good: the first connection serves setupMsgs messages before
+// slamming shut, and every redial is refused.
+func deadAfterSetup(lib *librarian.Librarian, setupMsgs int) func() (net.Conn, error) {
+	dials := 0
+	serve := haltAfter(lib, setupMsgs)
+	return func() (net.Conn, error) {
+		dials++
+		if dials > 1 {
+			return nil, errors.New("librarian down")
+		}
+		return serve()
+	}
+}
+
+// timeoutOnceDialer serves the librarian normally from the second dial on;
+// the first connection answers exactly one message (the Hello) and then goes
+// silent without closing, so the next request blocks until the query
+// deadline trips.
+func timeoutOnceDialer(lib *librarian.Librarian) func() (net.Conn, error) {
+	dials := 0
+	return func() (net.Conn, error) {
+		dials++
+		client, server := net.Pipe()
+		if dials == 1 {
+			go func() {
+				msg, _, err := protocol.ReadMessage(server)
+				if err != nil {
+					return
+				}
+				_, _ = protocol.WriteMessage(server, librarianHandle(lib, msg))
+				// Hold the connection open but read nothing more: the
+				// receptionist's next write blocks until its deadline.
+			}()
+		} else {
+			go func() {
+				defer server.Close()
+				_ = lib.ServeConn(server)
+			}()
+		}
+		return client, nil
+	}
+}
+
+// partialFixture wires the four-librarian corpus with ZIFF dying after its
+// setup exchanges, returning the receptionist plus the analysed terms for CI.
+func partialFixture(t *testing.T, setupMsgs int) (*Receptionist, [][]string) {
+	t.Helper()
+	corpus, order := fourLibCorpus()
+	a := testAnalyzer()
+	libs := map[string]*librarian.Librarian{}
+	var termsOf [][]string
+	for _, name := range order {
+		lib, err := librarian.Build(name, corpus[name], librarian.BuildOptions{Analyzer: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		libs[name] = lib
+		for _, d := range corpus[name] {
+			termsOf = append(termsOf, a.Terms(nil, d.Text))
+		}
+	}
+	goodDialer := librarian.NewInProcessDialer(
+		[]*librarian.Librarian{libs["AP"], libs["FR"], libs["WSJ"]}, simnet.LinkConfig{})
+	dialer := simnet.MapDialer{
+		"AP":   func() (net.Conn, error) { return goodDialer.Dial("AP") },
+		"FR":   func() (net.Conn, error) { return goodDialer.Dial("FR") },
+		"WSJ":  func() (net.Conn, error) { return goodDialer.Dial("WSJ") },
+		"ZIFF": deadAfterSetup(libs["ZIFF"], setupMsgs),
+	}
+	recep, err := Connect(dialer, order, Config{Analyzer: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		recep.Close()
+		goodDialer.Wait()
+	})
+	return recep, termsOf
+}
+
+// TestPartialResultAcrossModes pins the degraded-operation contract: a query
+// against 4 librarians where 1 is down returns the top-k merged from the 3
+// survivors with Trace.Degraded set and one Trace.Failures entry — under all
+// of CN, CV and CI.
+func TestPartialResultAcrossModes(t *testing.T) {
+	cases := []struct {
+		mode      Mode
+		setupMsgs int // messages ZIFF answers before dying
+	}{
+		{ModeCN, 1}, // Hello only
+		{ModeCV, 2}, // Hello + VocabRequest
+		{ModeCI, 2}, // Hello + VocabRequest; central index built locally
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			recep, termsOf := partialFixture(t, tc.setupMsgs)
+			if tc.mode != ModeCN {
+				if _, err := recep.SetupVocabulary(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			opts := Options{AllowPartial: true}
+			if tc.mode == ModeCI {
+				g, err := BuildGrouped(termsOf, 2, testAnalyzer())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := recep.SetupCentralIndex(g); err != nil {
+					t.Fatal(err)
+				}
+				// Expand every group so the dead librarian's documents are
+				// nominated and its failure exercised.
+				opts.KPrime = int(g.NumGroups())
+			}
+			res, err := recep.Query(tc.mode, "shared", 30, opts)
+			if err != nil {
+				t.Fatalf("partial query: %v", err)
+			}
+			if !res.Trace.Degraded {
+				t.Fatal("Trace.Degraded not set")
+			}
+			if len(res.Trace.Failures) != 1 {
+				t.Fatalf("Failures = %+v, want exactly one", res.Trace.Failures)
+			}
+			f := res.Trace.Failures[0]
+			if f.Librarian != "ZIFF" || f.Phase != PhaseRank || f.Attempts != 1 || f.Err == nil {
+				t.Fatalf("failure = %+v", f)
+			}
+			if len(res.Answers) == 0 {
+				t.Fatal("no answers from survivors")
+			}
+			survivors := map[string]bool{}
+			for _, a := range res.Answers {
+				if a.Librarian == "ZIFF" {
+					t.Fatal("answer from dead librarian")
+				}
+				survivors[a.Librarian] = true
+			}
+			if len(survivors) != 3 {
+				t.Fatalf("answers from %d survivors, want 3", len(survivors))
+			}
+			if got := res.Trace.FailedLibrarians(PhaseRank); len(got) != 1 || got[0] != "ZIFF" {
+				t.Fatalf("FailedLibrarians = %v", got)
+			}
+		})
+	}
+}
+
+// TestPartialNotAllowedStillFails pins backward compatibility: without
+// AllowPartial a dead librarian fails the query, naming the librarian, and
+// the failure is still recorded in the trace for diagnosis.
+func TestPartialNotAllowedStillFails(t *testing.T) {
+	recep, _ := partialFixture(t, 1)
+	_, err := recep.Query(ModeCN, "shared", 10, Options{})
+	if err == nil {
+		t.Fatal("dead librarian without AllowPartial: want error")
+	}
+	if !strings.Contains(err.Error(), "ZIFF") {
+		t.Fatalf("error should name the dead librarian: %v", err)
+	}
+}
+
+// TestMinLibrariansGate: a partial result needs at least MinLibrarians
+// surviving answers in the rank phase.
+func TestMinLibrariansGate(t *testing.T) {
+	recep, _ := partialFixture(t, 1)
+	if _, err := recep.Query(ModeCN, "shared", 10, Options{MinLibrarians: 4}); err == nil {
+		t.Fatal("3 survivors with MinLibrarians 4: want error")
+	}
+	res, err := recep.Query(ModeCN, "shared", 10, Options{MinLibrarians: 3})
+	if err != nil {
+		t.Fatalf("3 survivors with MinLibrarians 3: %v", err)
+	}
+	if !res.Trace.Degraded || len(res.Answers) == 0 {
+		t.Fatalf("degraded=%v answers=%d", res.Trace.Degraded, len(res.Answers))
+	}
+}
+
+// TestRetryRecoversTimedOutLibrarian: a librarian that times out on attempt
+// 1 and answers on attempt 2 contributes to the final ranking, with no
+// failure recorded and the extra attempt visible in the trace.
+func TestRetryRecoversTimedOutLibrarian(t *testing.T) {
+	a := testAnalyzer()
+	good, flaky := buildFailureLibs(t)
+	goodDialer := librarian.NewInProcessDialer([]*librarian.Librarian{good}, simnet.LinkConfig{})
+	dialer := simnet.MapDialer{
+		"good": func() (net.Conn, error) { return goodDialer.Dial("good") },
+		"bad":  timeoutOnceDialer(flaky),
+	}
+	recep, err := Connect(dialer, []string{"good", "bad"}, Config{Analyzer: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		recep.Close()
+		goodDialer.Wait()
+	}()
+	res, err := recep.Query(ModeCN, "librarian", 10, Options{
+		Timeout: 200 * time.Millisecond,
+		Retries: 1,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("retry should recover the flaky librarian: %v", err)
+	}
+	if res.Trace.Degraded || len(res.Trace.Failures) != 0 {
+		t.Fatalf("recovered query marked degraded: %+v", res.Trace)
+	}
+	var fromFlaky bool
+	for _, ans := range res.Answers {
+		if ans.Librarian == "bad" {
+			fromFlaky = true
+		}
+	}
+	if !fromFlaky {
+		t.Fatal("recovered librarian did not contribute to the ranking")
+	}
+	if got := res.Trace.RetryAttempts(); got != 1 {
+		t.Fatalf("RetryAttempts = %d, want 1", got)
+	}
+	attempts := 0
+	for _, c := range res.Trace.Calls {
+		if c.Phase == PhaseRank && c.Librarian == "bad" {
+			attempts++
+		}
+	}
+	if attempts != 2 {
+		t.Fatalf("rank calls for flaky librarian = %d, want 2 (timeout + retry)", attempts)
+	}
+}
+
+// TestDeadlineMarksConnDirtyAndResyncs pins the stream-resync fix: after a
+// deadline error leaves a request half-written, the connection must not be
+// reused — the next query redials and succeeds with clean framing instead of
+// failing on garbage MsgTypes.
+func TestDeadlineMarksConnDirtyAndResyncs(t *testing.T) {
+	a := testAnalyzer()
+	good, flaky := buildFailureLibs(t)
+	goodDialer := librarian.NewInProcessDialer([]*librarian.Librarian{good}, simnet.LinkConfig{})
+	dialer := simnet.MapDialer{
+		"good": func() (net.Conn, error) { return goodDialer.Dial("good") },
+		"bad":  timeoutOnceDialer(flaky),
+	}
+	recep, err := Connect(dialer, []string{"good", "bad"}, Config{Analyzer: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		recep.Close()
+		goodDialer.Wait()
+	}()
+	// Query 1: the deadline trips mid-exchange and, with no retries
+	// configured, fails the query.
+	if _, err := recep.Query(ModeCN, "librarian", 5, Options{Timeout: 100 * time.Millisecond}); err == nil {
+		t.Fatal("timed-out query without retries: want error")
+	}
+	// Query 2: the desynced stream is replaced, not reused.
+	res, err := recep.Query(ModeCN, "librarian", 5, Options{})
+	if err != nil {
+		t.Fatalf("query after resync: %v", err)
+	}
+	var fromFlaky bool
+	for _, ans := range res.Answers {
+		if ans.Librarian == "bad" {
+			fromFlaky = true
+		}
+	}
+	if !fromFlaky {
+		t.Fatal("redialled librarian did not answer after resync")
 	}
 }
 

@@ -58,6 +58,25 @@ type Options struct {
 	// queries varied by as much as a factor of one hundred", a deadline is
 	// what keeps one stuck site from hanging the whole query.
 	Timeout time.Duration
+	// Retries is the number of additional attempts after a failed librarian
+	// exchange. Each retry redials the librarian (a timed-out stream may be
+	// desynced mid-message and is never reused) and re-sends the request.
+	// Zero fails the exchange on its first error.
+	Retries int
+	// Backoff is the wait before the first retry, doubling on each further
+	// retry and capped at 5s. Zero retries immediately.
+	Backoff time.Duration
+	// AllowPartial lets a query complete from the surviving librarians when
+	// some exhaust every attempt: CN and CV merge the rankings that arrived,
+	// CI drops candidate groups owned by dead librarians, and the failures
+	// are recorded in Trace.Failures with Trace.Degraded set. When false
+	// (the default) the first exhausted librarian fails the query.
+	// MinLibrarians > 0 implies AllowPartial.
+	AllowPartial bool
+	// MinLibrarians is the minimum number of librarians that must answer
+	// the rank phase for a partial result to be returned; fewer fails the
+	// query. Zero means one surviving librarian suffices.
+	MinLibrarians int
 }
 
 // DefaultKPrime is the paper's default k' for the CI methodology.
@@ -67,6 +86,8 @@ const DefaultKPrime = 100
 type libInfo struct {
 	name    string
 	conn    net.Conn
+	dialer  simnet.Dialer // stored at Connect time, for redials
+	dirty   bool          // stream desynced by a failed exchange; redial before reuse
 	numDocs uint32
 	offset  uint32 // global id of this librarian's local doc 0
 
@@ -87,10 +108,9 @@ type Receptionist struct {
 	globalFT  map[string]uint32 // merged vocabulary (after SetupVocabulary)
 	central   *GroupedIndex     // CI state (after SetupCentralIndex)
 
-	// timeout applies to librarian exchanges of the query in flight; the
-	// Receptionist is single-session (not safe for concurrent use), so a
-	// plain field suffices.
-	timeout time.Duration
+	// policy applies to librarian exchanges of the query in flight; see
+	// callPolicy. Setup exchanges run with the zero policy.
+	policy callPolicy
 
 	closed bool
 }
@@ -119,7 +139,7 @@ func Connect(dialer simnet.Dialer, names []string, cfg Config) (*Receptionist, e
 			r.Close()
 			return nil, fmt.Errorf("core: connect %q: %w", name, err)
 		}
-		li := &libInfo{name: name, conn: conn}
+		li := &libInfo{name: name, conn: conn, dialer: dialer}
 		r.libs = append(r.libs, li)
 		r.byName[name] = li
 	}
@@ -193,13 +213,19 @@ func (r *Receptionist) GlobalDoc(name string, local uint32) (uint32, error) {
 }
 
 // ResolveGlobal converts a global document number to (librarian, local id).
+// CI expansion calls this once per candidate document, so it binary-searches
+// the offset table (librarians are stored in global-numbering order) rather
+// than scanning it.
 func (r *Receptionist) ResolveGlobal(global uint32) (string, uint32, error) {
-	for _, li := range r.libs {
-		if global < li.offset+li.numDocs {
-			return li.name, global - li.offset, nil
-		}
+	if global >= r.totalDocs {
+		return "", 0, fmt.Errorf("core: global doc %d outside collection of %d", global, r.totalDocs)
 	}
-	return "", 0, fmt.Errorf("core: global doc %d outside collection of %d", global, r.totalDocs)
+	// The last librarian whose offset is <= global owns it: any earlier
+	// librarian with the same offset is empty, and the next one starts past
+	// global.
+	i := sort.Search(len(r.libs), func(i int) bool { return r.libs[i].offset > global }) - 1
+	li := r.libs[i]
+	return li.name, global - li.offset, nil
 }
 
 // SetupVocabulary performs the CV preprocessing step: fetch each librarian's
@@ -349,8 +375,8 @@ func (r *Receptionist) Query(mode Mode, query string, k int, opts Options) (*Res
 	}
 	res := &Result{}
 	res.Trace.Mode = mode
-	r.timeout = opts.Timeout
-	defer func() { r.timeout = 0 }()
+	r.policy = policyFor(opts)
+	defer func() { r.policy = callPolicy{} }()
 	var err error
 	switch mode {
 	case ModeCN:
@@ -374,14 +400,20 @@ func (r *Receptionist) Query(mode Mode, query string, k int, opts Options) (*Res
 }
 
 // callParallel sends one request to each named librarian concurrently and
-// waits for all replies, appending Call records to trace. An ErrorReply from
-// a librarian is surfaced as a *protocol.RemoteError.
+// waits for every outcome, appending per-attempt Call records to trace. A
+// librarian whose exchange fails is retried per the current policy (redial,
+// capped exponential backoff); one that exhausts its attempts is recorded in
+// trace.Failures. Whether a failure fails the whole call depends on the
+// policy: without AllowPartial the first failure is returned as an error
+// (an ErrorReply surfaces as a *protocol.RemoteError); with it, the
+// surviving replies are returned and trace.Degraded is set, provided at
+// least MinLibrarians answered the rank phase.
 func (r *Receptionist) callParallel(trace *Trace, phase Phase, names []string, makeReq func(name string) protocol.Message) (map[string]protocol.Message, error) {
 	type outcome struct {
 		name  string
-		call  Call
+		calls []Call
 		reply protocol.Message
-		err   error
+		fail  *Failure
 	}
 	results := make(chan outcome, len(names))
 	var wg sync.WaitGroup
@@ -394,72 +426,50 @@ func (r *Receptionist) callParallel(trace *Trace, phase Phase, names []string, m
 		wg.Add(1)
 		go func(li *libInfo, req protocol.Message) {
 			defer wg.Done()
-			out := outcome{name: li.name}
-			out.call = Call{Librarian: li.name, Phase: phase, ReqType: req.Type()}
-			if r.timeout > 0 {
-				// Deadline errors surface from the read/write below.
-				_ = li.conn.SetDeadline(time.Now().Add(r.timeout))
-				defer func() { _ = li.conn.SetDeadline(time.Time{}) }()
-			}
-			wrote, err := protocol.WriteMessage(li.conn, req)
-			out.call.ReqBytes = wrote
-			if err != nil {
-				out.err = err
-				results <- out
-				return
-			}
-			reply, read, err := protocol.ReadMessage(li.conn)
-			out.call.RespBytes = read
-			if err != nil {
-				out.err = err
-				results <- out
-				return
-			}
-			switch m := reply.(type) {
-			case *protocol.ErrorReply:
-				out.err = &protocol.RemoteError{Message: m.Message}
-			case *protocol.RankReply:
-				out.call.LibStats = m.Stats
-				out.reply = reply
-			case *protocol.BooleanReply:
-				out.call.LibStats = m.Stats
-				out.reply = reply
-			case *protocol.FetchReply:
-				out.call.DocsFetched = len(m.Docs)
-				for _, d := range m.Docs {
-					out.call.DocBytes += len(d.Data)
-				}
-				out.reply = reply
-			default:
-				out.reply = reply
-			}
-			results <- out
+			calls, reply, fail := r.callLibrarian(li, phase, req)
+			results <- outcome{name: li.name, calls: calls, reply: reply, fail: fail}
 		}(li, req)
 	}
 	wg.Wait()
 	close(results)
 
 	replies := make(map[string]protocol.Message, len(names))
-	var firstErr error
+	var failures []Failure
 	for out := range results {
-		trace.Calls = append(trace.Calls, out.call)
-		if out.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: librarian %q: %w", out.name, out.err)
-			}
+		trace.Calls = append(trace.Calls, out.calls...)
+		if out.fail != nil {
+			failures = append(failures, *out.fail)
 			continue
 		}
 		replies[out.name] = out.reply
 	}
-	// Keep trace ordering deterministic for tests and cost accounting.
+	// Keep trace ordering deterministic for tests and cost accounting; the
+	// stable sort preserves attempt order within a (phase, librarian) pair.
 	sort.SliceStable(trace.Calls, func(i, j int) bool {
 		if trace.Calls[i].Phase != trace.Calls[j].Phase {
 			return trace.Calls[i].Phase < trace.Calls[j].Phase
 		}
 		return trace.Calls[i].Librarian < trace.Calls[j].Librarian
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if len(failures) == 0 {
+		return replies, nil
+	}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Librarian < failures[j].Librarian })
+	trace.Failures = append(trace.Failures, failures...)
+	if !r.policy.allowPartial {
+		f := failures[0]
+		return nil, fmt.Errorf("core: librarian %q: %w", f.Librarian, f.Err)
+	}
+	trace.Degraded = true
+	if phase == PhaseRank {
+		min := r.policy.minLibrarians
+		if min < 1 {
+			min = 1
+		}
+		if len(replies) < min {
+			return nil, fmt.Errorf("core: only %d of %d librarians answered, need %d",
+				len(replies), len(names), min)
+		}
 	}
 	return replies, nil
 }
@@ -503,6 +513,12 @@ func (r *Receptionist) fetchAnswers(res *Result, compressed bool) error {
 		a := &res.Answers[i]
 		blob, ok := texts[a.Key()]
 		if !ok {
+			if _, answered := replies[a.Librarian]; !answered {
+				// The librarian failed its fetch exchange and the policy
+				// allowed a partial result (recorded in Trace.Failures);
+				// the answer keeps its rank and score, without text.
+				continue
+			}
 			return fmt.Errorf("core: librarian %q did not return doc %d", a.Librarian, a.LocalDoc)
 		}
 		a.Title = blob.Title

@@ -82,6 +82,18 @@ type Call struct {
 	DocBytes    int
 }
 
+// Failure records one librarian that could not complete an exchange: the
+// original attempt plus every retry failed, and the query proceeded (or
+// aborted) without it.
+type Failure struct {
+	Librarian string
+	Phase     Phase
+	// Attempts is the number of exchanges tried before giving up (1 when
+	// retries were not configured or the error was not retryable).
+	Attempts int
+	Err      error
+}
+
 // Trace is the complete record of one query's distributed evaluation.
 type Trace struct {
 	Mode  Mode
@@ -99,6 +111,13 @@ type Trace struct {
 	// baseline reads from its own disk (no network involved).
 	LocalDocsFetched int
 	LocalDocBytes    int
+
+	// Failures records librarians that failed every attempt of an exchange,
+	// whether or not the query went on to succeed from the survivors.
+	Failures []Failure
+	// Degraded marks a query answered from a surviving subset of librarians
+	// (some Failures occurred but Options allowed a partial result).
+	Degraded bool
 }
 
 // RoundTrips counts request/response exchanges in the given phase (all
@@ -121,6 +140,42 @@ func (t *Trace) BytesTransferred(phase Phase) int {
 	for _, c := range t.Calls {
 		if phase == 0 || c.Phase == phase {
 			n += c.ReqBytes + c.RespBytes
+		}
+	}
+	return n
+}
+
+// FailedLibrarians returns the names of librarians with a recorded Failure
+// in the given phase (all phases when phase is 0), without duplicates, in
+// trace order.
+func (t *Trace) FailedLibrarians(phase Phase) []string {
+	var names []string
+	seen := make(map[string]bool, len(t.Failures))
+	for _, f := range t.Failures {
+		if (phase == 0 || f.Phase == phase) && !seen[f.Librarian] {
+			seen[f.Librarian] = true
+			names = append(names, f.Librarian)
+		}
+	}
+	return names
+}
+
+// RetryAttempts counts exchanges beyond each librarian's first attempt in a
+// phase — the extra network work fault tolerance cost this query, whether
+// the retries eventually succeeded or not.
+func (t *Trace) RetryAttempts() int {
+	type key struct {
+		phase Phase
+		lib   string
+	}
+	counts := make(map[key]int, len(t.Calls))
+	for _, c := range t.Calls {
+		counts[key{c.Phase, c.Librarian}]++
+	}
+	n := 0
+	for _, cnt := range counts {
+		if cnt > 1 {
+			n += cnt - 1
 		}
 	}
 	return n

@@ -169,20 +169,22 @@ func Estimate(cfg Config, trace *core.Trace) (Breakdown, error) {
 	return b, nil
 }
 
-// estimatePhase computes the elapsed time of one phase: librarian calls run
-// in parallel, so the phase takes as long as its slowest call — except that
-// on a shared disk, all disk work serialises across librarians.
+// estimatePhase computes the elapsed time of one phase: librarians run in
+// parallel, so the phase takes as long as its slowest librarian. A librarian
+// may have several calls in a phase — retried exchanges under the
+// fault-tolerance policy — and those serialise on its link, so per-librarian
+// costs are summed across attempts before taking the maximum. On a shared
+// disk, all disk work additionally serialises across librarians.
 func estimatePhase(cfg Config, trace *core.Trace, phase core.Phase) time.Duration {
 	// Contention applies only when more than one reader is actually
 	// active on the shared spindle during the phase.
-	active := 0
+	perLib := make(map[string]time.Duration)
 	for _, call := range trace.Calls {
 		if call.Phase == phase {
-			active++
+			perLib[call.Librarian] = 0
 		}
 	}
-	contended := cfg.SharedDisk && active > 1
-	var slowest time.Duration
+	contended := cfg.SharedDisk && len(perLib) > 1
 	var sharedDisk time.Duration
 	for _, call := range trace.Calls {
 		if call.Phase != phase {
@@ -196,7 +198,11 @@ func estimatePhase(cfg Config, trace *core.Trace, phase core.Phase) time.Duratio
 			sharedDisk += disk
 			disk = 0
 		}
-		if t := network + cpu + disk; t > slowest {
+		perLib[call.Librarian] += network + cpu + disk
+	}
+	var slowest time.Duration
+	for _, t := range perLib {
+		if t > slowest {
 			slowest = t
 		}
 	}

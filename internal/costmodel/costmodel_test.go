@@ -213,3 +213,33 @@ func TestWANSitesComplete(t *testing.T) {
 		t.Error("WAN RTTs do not match Table 2 ordering")
 	}
 }
+
+// TestRetriedCallsSerialisePerLibrarian pins the fault-tolerance accounting:
+// a librarian's retried exchanges serialise on its own link, so a trace
+// carrying an extra (failed) rank attempt at one librarian can only cost
+// more, and on a latency-dominated configuration it must cost strictly more.
+func TestRetriedCallsSerialisePerLibrarian(t *testing.T) {
+	single := sampleTrace()
+	retried := sampleTrace()
+	// A timed-out first attempt at the slowest WAN site (WSJ, Tel Aviv):
+	// the request went out, nothing came back.
+	retried.Calls = append(retried.Calls,
+		core.Call{Librarian: "WSJ", Phase: core.PhaseRank, ReqBytes: 120})
+	for _, cfg := range AllConfigs() {
+		bSingle, err := Estimate(cfg, single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bRetried, err := Estimate(cfg, retried)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bRetried.Rank < bSingle.Rank {
+			t.Errorf("%s: retried rank %v < single %v", cfg.Name, bRetried.Rank, bSingle.Rank)
+		}
+		if cfg.Name == "WAN" && bRetried.Rank <= bSingle.Rank {
+			t.Errorf("WAN: retried attempt did not add elapsed time (%v vs %v)",
+				bRetried.Rank, bSingle.Rank)
+		}
+	}
+}

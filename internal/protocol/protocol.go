@@ -223,9 +223,15 @@ type IndexReply struct {
 }
 
 // RemoteError is the receptionist-side error produced when a librarian
-// answers with an ErrorReply.
+// answers with an ErrorReply. A RemoteError arrives on an intact stream (the
+// librarian framed a complete reply), so the connection stays usable.
 type RemoteError struct {
 	Message string
+	// Retryable marks a transient librarian-side condition worth
+	// re-attempting, as opposed to a semantic failure (a malformed query,
+	// an unknown document) that would fail identically on every attempt.
+	// Librarian-reported errors default to non-retryable.
+	Retryable bool
 }
 
 func (e *RemoteError) Error() string {

@@ -12,6 +12,7 @@ package simnet
 import (
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -42,18 +43,36 @@ func (c LinkConfig) delayFor(bytes int) time.Duration {
 // symmetric configuration. Both ends satisfy net.Conn.
 func Pipe(cfg LinkConfig) (client, server net.Conn) {
 	c, s := net.Pipe()
-	return &conn{Conn: c, cfg: cfg}, &conn{Conn: s, cfg: cfg}
+	return newConn(c, cfg), newConn(s, cfg)
 }
 
 // conn delays each Write by the link's latency and transmission time before
 // handing the bytes to the underlying pipe. net.Pipe is synchronous, so the
-// sleep-then-write discipline makes delivery time behave like a
-// store-and-forward network hop.
+// delay-then-write discipline makes delivery time behave like a
+// store-and-forward network hop. The delay wait honours write deadlines and
+// Close, so a deadline set on the connection can interrupt a slow simulated
+// transmission with os.ErrDeadlineExceeded.
 type conn struct {
 	net.Conn
 	cfg LinkConfig
 
 	mu sync.Mutex // serialises writes, modelling one physical link
+
+	dmu      sync.Mutex
+	deadline time.Time     // current write deadline
+	dnotify  chan struct{} // closed (and replaced) whenever the deadline changes
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newConn(c net.Conn, cfg LinkConfig) *conn {
+	return &conn{
+		Conn:    c,
+		cfg:     cfg,
+		dnotify: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
 }
 
 // Write implements net.Conn with simulated delay.
@@ -61,9 +80,81 @@ func (c *conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if d := c.cfg.delayFor(len(p)); d > 0 {
-		time.Sleep(d)
+		if err := c.waitDelay(d); err != nil {
+			return 0, err
+		}
 	}
 	return c.Conn.Write(p)
+}
+
+// waitDelay blocks for the transmission delay d, aborting early when the
+// write deadline passes or the connection is closed.
+func (c *conn) waitDelay(d time.Duration) error {
+	delay := time.NewTimer(d)
+	defer delay.Stop()
+	for {
+		c.dmu.Lock()
+		deadline := c.deadline
+		notify := c.dnotify
+		c.dmu.Unlock()
+
+		var deadlineCh <-chan time.Time
+		var deadlineTimer *time.Timer
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return os.ErrDeadlineExceeded
+			}
+			deadlineTimer = time.NewTimer(remaining)
+			deadlineCh = deadlineTimer.C
+		}
+		select {
+		case <-delay.C:
+			if deadlineTimer != nil {
+				deadlineTimer.Stop()
+			}
+			return nil
+		case <-deadlineCh:
+			return os.ErrDeadlineExceeded
+		case <-notify:
+			// Deadline changed mid-wait: recompute and keep waiting.
+			if deadlineTimer != nil {
+				deadlineTimer.Stop()
+			}
+		case <-c.closed:
+			if deadlineTimer != nil {
+				deadlineTimer.Stop()
+			}
+			return net.ErrClosed
+		}
+	}
+}
+
+// SetDeadline implements net.Conn, covering both the simulated transmission
+// wait and the underlying pipe.
+func (c *conn) SetDeadline(t time.Time) error {
+	c.setWriteDeadline(t)
+	return c.Conn.SetDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.setWriteDeadline(t)
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *conn) setWriteDeadline(t time.Time) {
+	c.dmu.Lock()
+	c.deadline = t
+	close(c.dnotify)
+	c.dnotify = make(chan struct{})
+	c.dmu.Unlock()
+}
+
+// Close implements net.Conn, waking any write blocked in the delay wait.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
 }
 
 // Dialer hands out client connections to named peers, hiding whether the

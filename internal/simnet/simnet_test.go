@@ -1,7 +1,9 @@
 package simnet
 
 import (
+	"errors"
 	"net"
+	"os"
 	"testing"
 	"time"
 )
@@ -101,6 +103,82 @@ func TestDelayForComputation(t *testing.T) {
 	unlimited := LinkConfig{}
 	if d := unlimited.delayFor(1 << 20); d != 0 {
 		t.Fatalf("unlimited link delay = %v", d)
+	}
+}
+
+func TestWriteDeadlineInterruptsDelay(t *testing.T) {
+	// A 10-second transmission delay must not pin Write past its deadline.
+	client, server := Pipe(LinkConfig{Latency: 10 * time.Second})
+	defer client.Close()
+	defer server.Close()
+
+	if err := client.SetDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := client.Write([]byte("x"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("write over 10s link with 30ms deadline: want error")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want os.ErrDeadlineExceeded, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to interrupt the delay", elapsed)
+	}
+	// Clearing the deadline restores normal writes.
+	if err := client.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlineSetMidDelayInterrupts(t *testing.T) {
+	client, server := Pipe(LinkConfig{Latency: 10 * time.Second})
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write([]byte("x"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let Write enter its delay wait
+	if err := client.SetWriteDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("want os.ErrDeadlineExceeded, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline set mid-delay did not interrupt the write")
+	}
+}
+
+func TestCloseInterruptsDelay(t *testing.T) {
+	client, server := Pipe(LinkConfig{Latency: 10 * time.Second})
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write([]byte("x"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	client.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("write on closed delayed conn: want error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not interrupt the delayed write")
 	}
 }
 
