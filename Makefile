@@ -1,0 +1,36 @@
+# Development targets. `make verify` is the pre-merge wall: static checks,
+# the full test suite under the race detector, and short fuzz smokes of the
+# wire protocol and postings codec.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet fuzz-smoke bench-pool verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz runs: long enough to catch regressions in the decoder and
+# codec invariants, short enough for every verify run. -run='^$$' skips
+# the unit tests, which `race` already covered.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadMessage -fuzztime=$(FUZZTIME) ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzMessageRoundTrip -fuzztime=$(FUZZTIME) ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzPostingsRoundTrip -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run='^$$' -fuzz=FuzzPostingsDecodeCorrupt -fuzztime=$(FUZZTIME) ./internal/codec
+
+# Regenerate BENCH_pool.json (concurrent throughput over the shared pool).
+bench-pool:
+	$(GO) test -run='^$$' -bench=PoolThroughput .
+
+verify: vet build race fuzz-smoke
+	@echo "verify: OK"

@@ -1,13 +1,15 @@
 // Command stress drives concurrent query load at running librarian servers
 // and reports wall-clock throughput and latency percentiles — the
 // multiple-users-at-capacity regime the paper distinguishes from single
-// query response time. Each client runs its own receptionist session, as
-// in TERAPHIM (librarians accept many sessions).
+// query response time. All clients share one federation: the vocabulary,
+// model and central-index setup exchanges run exactly once regardless of
+// -clients, and the clients fan out over a bounded per-librarian
+// connection pool.
 //
 // Usage:
 //
 //	stress -libs AP=host:7001,FR=host:7002 -queryfile queries.txt \
-//	       [-mode cv] [-clients 8] [-n 200] [-k 20] [-fetch]
+//	       [-mode cv] [-clients 8] [-conns 0] [-n 200] [-k 20] [-fetch]
 //
 // The query file holds one query per line (cmd/trecgen's queries.tsv also
 // works; the last tab-separated field is used).
@@ -39,10 +41,13 @@ func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
 	libs := fs.String("libs", "", "comma-separated name=host:port librarian list (required)")
 	queryFile := fs.String("queryfile", "", "file of queries, one per line (required)")
-	mode := fs.String("mode", "cv", "methodology: cn or cv")
-	clients := fs.Int("clients", 8, "concurrent receptionist sessions")
+	mode := fs.String("mode", "cv", "methodology: cn, cv or ci")
+	clients := fs.Int("clients", 8, "concurrent client sessions over the shared pool")
+	conns := fs.Int("conns", 0, "max pooled connections per librarian (0 = match -clients)")
 	n := fs.Int("n", 200, "total queries to issue")
 	k := fs.Int("k", 20, "answers per query")
+	kprime := fs.Int("kprime", 0, "CI: groups to expand (0 = paper default)")
+	group := fs.Int("group", 10, "CI: documents per central-index group")
 	fetch := fs.Bool("fetch", false, "retrieve documents too")
 	timeout := fs.Duration("timeout", 0, "per-exchange deadline (0 = none)")
 	retries := fs.Int("retries", 0, "extra attempts per librarian exchange after a transient failure")
@@ -64,6 +69,8 @@ func run(w io.Writer, args []string) error {
 		qmode = core.ModeCN
 	case "cv":
 		qmode = core.ModeCV
+	case "ci":
+		qmode = core.ModeCI
 	default:
 		return fmt.Errorf("unsupported mode %q", *mode)
 	}
@@ -87,20 +94,26 @@ func run(w io.Writer, args []string) error {
 		names = append(names, name)
 	}
 
+	maxConns := *conns
+	if maxConns <= 0 {
+		maxConns = *clients
+	}
 	opts := core.Options{
 		Fetch:              *fetch,
 		CompressedTransfer: false,
+		KPrime:             *kprime,
 		Timeout:            *timeout,
 		Retries:            *retries,
 		Backoff:            *backoff,
 		AllowPartial:       *partial,
 		MinLibrarians:      *minLibs,
 	}
-	report, err := drive(dialer, names, qmode, queries, *clients, *n, *k, opts)
+	report, err := drive(dialer, names, qmode, queries, *clients, maxConns, *n, *k, *group, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%d queries, %d clients, mode %s\n", report.completed, *clients, strings.ToUpper(*mode))
+	fmt.Fprintf(w, "setup           %10d round trips, once for all clients\n", report.setupTrips)
 	fmt.Fprintf(w, "wall clock      %10.2fs\n", report.elapsed.Seconds())
 	fmt.Fprintf(w, "throughput      %10.1f queries/sec\n", report.throughput)
 	fmt.Fprintf(w, "latency p50     %10.2fms\n", ms(report.p50))
@@ -116,6 +129,7 @@ func run(w io.Writer, args []string) error {
 
 type report struct {
 	completed     int
+	setupTrips    int
 	elapsed       time.Duration
 	throughput    float64
 	p50, p90, p99 time.Duration
@@ -126,10 +140,32 @@ type report struct {
 	retried     int
 }
 
-// drive runs the benchmark: clients pull query indexes from a shared
-// channel, each with its own receptionist session.
+// drive runs the benchmark: one pool is set up once (Hello + whatever the
+// mode needs), then clients pull query indexes from a shared channel, each
+// as a lightweight session over the shared federation.
 func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []string,
-	clients, n, k int, opts core.Options) (report, error) {
+	clients, maxConns, n, k, group int, opts core.Options) (report, error) {
+	pool, err := core.NewPool(dialer, names, core.Config{MaxConnsPerLibrarian: maxConns})
+	if err != nil {
+		return report{}, err
+	}
+	defer pool.Close()
+	setupTrips := len(names) // the Hello exchange
+	if mode == core.ModeCV || mode == core.ModeCI {
+		trace, err := pool.SetupVocabulary()
+		if err != nil {
+			return report{}, err
+		}
+		setupTrips += trace.RoundTrips(core.PhaseSetup)
+	}
+	if mode == core.ModeCI {
+		trace, err := pool.SetupCentralIndexRemote(group)
+		if err != nil {
+			return report{}, err
+		}
+		setupTrips += trace.RoundTrips(core.PhaseSetup)
+	}
+
 	work := make(chan int)
 	go func() {
 		defer close(work)
@@ -148,21 +184,10 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			recep, err := core.Connect(dialer, names, core.Config{})
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer recep.Close()
-			if mode == core.ModeCV {
-				if _, err := recep.SetupVocabulary(); err != nil {
-					errs <- err
-					return
-				}
-			}
+			sess := pool.Session()
 			for i := range work {
 				qStart := time.Now()
-				res, err := recep.Query(mode, queries[i%len(queries)], k, opts)
+				res, err := sess.Query(mode, queries[i%len(queries)], k, opts)
 				if err != nil {
 					errs <- fmt.Errorf("query %d: %w", i, err)
 					return
@@ -189,7 +214,7 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	rep := report{completed: len(latencies), elapsed: elapsed,
+	rep := report{completed: len(latencies), setupTrips: setupTrips, elapsed: elapsed,
 		degraded: degraded, libFailures: libFailures, retried: retried}
 	if elapsed > 0 {
 		rep.throughput = float64(len(latencies)) / elapsed.Seconds()

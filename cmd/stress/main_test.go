@@ -70,6 +70,60 @@ func TestStressDrivesLoad(t *testing.T) {
 	}
 }
 
+// setupLine extracts the "setup ... round trips" report line.
+func setupLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "setup") {
+			return line
+		}
+	}
+	t.Fatalf("no setup line in:\n%s", out)
+	return ""
+}
+
+// TestStressSetupOnce pins the shared-federation contract: the number of
+// setup round trips must not depend on -clients, because vocabulary and
+// model exchanges happen once on the pool, not once per client.
+func TestStressSetupOnce(t *testing.T) {
+	libs := startLibrarians(t)
+	queries := writeQueries(t)
+	var lines []string
+	for _, clients := range []string{"1", "8"} {
+		var buf bytes.Buffer
+		err := run(&buf, []string{
+			"-libs", libs, "-queryfile", queries,
+			"-mode", "cv", "-clients", clients, "-n", "16", "-k", "3",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, setupLine(t, buf.String()))
+	}
+	if lines[0] != lines[1] {
+		t.Fatalf("setup cost grew with clients:\n1 client:  %s\n8 clients: %s", lines[0], lines[1])
+	}
+}
+
+func TestStressCIMode(t *testing.T) {
+	libs := startLibrarians(t)
+	queries := writeQueries(t)
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-libs", libs, "-queryfile", queries,
+		"-mode", "ci", "-clients", "4", "-n", "20", "-k", "3", "-group", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"20 queries, 4 clients, mode CI", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestStressCNMode(t *testing.T) {
 	libs := startLibrarians(t)
 	queries := writeQueries(t)

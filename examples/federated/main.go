@@ -1,6 +1,7 @@
 // Federated search: three librarian servers on real TCP sockets, one
-// receptionist comparing the CN and CV methodologies — the paper's core
-// architecture in ~100 lines.
+// shared federation comparing the CN and CV methodologies, then fanning
+// several concurrent client sessions out over the connection pool — the
+// paper's core architecture in ~100 lines.
 //
 //	go run ./examples/federated
 package main
@@ -9,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 
 	"teraphim"
 )
@@ -60,20 +62,22 @@ func run() error {
 		fmt.Printf("librarian %-5s serving %d docs on %s\n", name, len(sites[name]), srv.Addr())
 	}
 
-	recep, err := teraphim.ConnectReceptionist(dialer, names, teraphim.ReceptionistConfig{Analyzer: analyzer})
+	// One pool holds the shared federation state. The vocabulary merge
+	// below runs exactly once; every session reuses it.
+	pool, err := teraphim.ConnectPool(dialer, names, teraphim.ReceptionistConfig{Analyzer: analyzer})
 	if err != nil {
 		return err
 	}
-	defer recep.Close()
-	if _, err := recep.SetupVocabulary(); err != nil {
+	defer pool.Close()
+	if _, err := pool.SetupVocabulary(); err != nil {
 		return err
 	}
-	terms, bytes := recep.VocabularySize()
-	fmt.Printf("receptionist merged vocabulary: %d terms, %d bytes\n\n", terms, bytes)
+	terms, bytes := pool.Federation().VocabularySize()
+	fmt.Printf("federation merged vocabulary: %d terms, %d bytes (set up once)\n\n", terms, bytes)
 
 	query := "election networks"
 	for _, mode := range []teraphim.Mode{teraphim.ModeCN, teraphim.ModeCV} {
-		res, err := recep.Query(mode, query, 5, teraphim.Options{Fetch: true})
+		res, err := pool.Query(mode, query, 5, teraphim.Options{Fetch: true})
 		if err != nil {
 			return err
 		}
@@ -86,6 +90,39 @@ func run() error {
 			res.Trace.RoundTrips(0), res.Trace.BytesTransferred(0))
 	}
 
+	// Concurrent serving: each client is a lightweight session borrowing
+	// pooled connections; none repeats the vocabulary setup.
+	const clients = 4
+	queries := []string{"election networks", "distributed index", "court statutes", "storm turnout"}
+	tops := make([]string, clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := pool.Session()
+			res, err := sess.Query(teraphim.ModeCV, queries[c], 1, teraphim.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Answers) > 0 {
+				tops[c] = res.Answers[0].Key()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	fmt.Printf("%d concurrent CV sessions over one federation:\n", clients)
+	for c, q := range queries {
+		fmt.Printf("  client %d: %-20q top answer %s\n", c, q, tops[c])
+	}
+
+	fmt.Println()
 	fmt.Println("Note how CN and CV can order answers differently: CN librarians weight")
 	fmt.Println("\"election\" and \"networks\" by their own subcollection statistics, while CV")
 	fmt.Println("ships uniform global weights, reproducing the monolithic ranking exactly.")

@@ -17,12 +17,12 @@ type BooleanResult struct {
 	Trace   Trace
 }
 
-// Boolean evaluates expr at every librarian and unions the result sets.
-func (r *Receptionist) Boolean(expr string) (*BooleanResult, error) {
+// boolean evaluates expr at every librarian and unions the result sets.
+func (e *exec) boolean(expr string) (*BooleanResult, error) {
 	res := &BooleanResult{}
 	res.Trace.Mode = ModeCN // Boolean evaluation is inherently central-nothing
-	res.Trace.LibrariansAsked = len(r.libs)
-	replies, err := r.callParallel(&res.Trace, PhaseRank, r.allNames(), func(string) protocol.Message {
+	res.Trace.LibrariansAsked = len(e.fed.libs)
+	replies, err := e.callParallel(&res.Trace, PhaseRank, e.fed.Librarians(), func(string) protocol.Message {
 		return &protocol.BooleanQuery{Expr: expr}
 	})
 	if err != nil {
@@ -33,7 +33,7 @@ func (r *Receptionist) Boolean(expr string) (*BooleanResult, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: librarian %q answered BooleanQuery with %v", name, reply.Type())
 		}
-		li := r.byName[name]
+		li := e.fed.byName[name]
 		for _, d := range br.Docs {
 			res.Answers = append(res.Answers, Answer{
 				Librarian: name,

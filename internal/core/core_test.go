@@ -600,7 +600,7 @@ func TestRemoteCentralIndexEquivalence(t *testing.T) {
 	if trace.BytesTransferred(PhaseSetup) == 0 {
 		t.Fatal("index transfer cost not recorded")
 	}
-	remote := f.recep.central
+	remote := f.recep.Federation().CentralIndex()
 	if remote.NumGroups() != local.NumGroups() {
 		t.Fatalf("remote %d groups, local %d", remote.NumGroups(), local.NumGroups())
 	}

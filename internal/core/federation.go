@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"teraphim/internal/huffman"
+	"teraphim/internal/protocol"
+	"teraphim/internal/textproc"
+)
+
+// libMeta is the federation's knowledge of one librarian: identity, global
+// numbering and collection statistics. It is written once during NewPool's
+// Hello exchange and read-only thereafter, so sessions may share it freely.
+type libMeta struct {
+	name    string
+	numDocs uint32
+	offset  uint32 // global id of this librarian's local doc 0
+	hello   *protocol.HelloReply
+}
+
+// vocabState is the outcome of one SetupVocabulary exchange: the merged
+// global term statistics plus each librarian's own vocabulary (indexed like
+// Federation.libs), used by CV collection selection. A fresh state is built
+// off to the side and installed atomically, so concurrent queries always see
+// either the previous complete vocabulary or the new one — never a mix.
+type vocabState struct {
+	globalFT map[string]uint32
+	perLib   []map[string]uint32 // term -> local f_t, per librarian
+}
+
+// modelSet maps librarian name to its document-decompression model.
+type modelSet map[string]*huffman.TextModel
+
+// Federation is the shared, slowly-changing half of the old Receptionist:
+// global document numbering, the merged vocabulary, Huffman text models and
+// the grouped central index. It is built once (via a Pool's Setup*
+// exchanges) and then read concurrently by any number of sessions — the
+// split the paper's §5 "multiple users at capacity" regime requires, where
+// expensive collection metadata is gathered once and per-query state stays
+// cheap.
+//
+// All fields are either immutable after construction or installed through
+// atomic pointers, so a Federation is safe for concurrent use.
+type Federation struct {
+	analyzer  *textproc.Analyzer
+	libs      []*libMeta
+	byName    map[string]*libMeta
+	totalDocs uint32
+
+	vocab   atomic.Pointer[vocabState]
+	models  atomic.Pointer[modelSet]
+	central atomic.Pointer[GroupedIndex]
+}
+
+// Librarians returns the librarian names in global-numbering order.
+func (f *Federation) Librarians() []string {
+	names := make([]string, len(f.libs))
+	for i, li := range f.libs {
+		names[i] = li.name
+	}
+	return names
+}
+
+// TotalDocs returns the number of documents across all librarians.
+func (f *Federation) TotalDocs() uint32 { return f.totalDocs }
+
+// GlobalDoc converts (librarian, local id) to the global document number.
+func (f *Federation) GlobalDoc(name string, local uint32) (uint32, error) {
+	li, ok := f.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown librarian %q", name)
+	}
+	if local >= li.numDocs {
+		return 0, fmt.Errorf("core: doc %d outside %q's %d documents", local, name, li.numDocs)
+	}
+	return li.offset + local, nil
+}
+
+// ResolveGlobal converts a global document number to (librarian, local id).
+// CI expansion calls this once per candidate document, so it binary-searches
+// the offset table (librarians are stored in global-numbering order) rather
+// than scanning it.
+func (f *Federation) ResolveGlobal(global uint32) (string, uint32, error) {
+	if global >= f.totalDocs {
+		return "", 0, fmt.Errorf("core: global doc %d outside collection of %d", global, f.totalDocs)
+	}
+	// The last librarian whose offset is <= global owns it: any earlier
+	// librarian with the same offset is empty, and the next one starts past
+	// global.
+	i := sort.Search(len(f.libs), func(i int) bool { return f.libs[i].offset > global }) - 1
+	li := f.libs[i]
+	return li.name, global - li.offset, nil
+}
+
+// GlobalWeights computes the merged-vocabulary query weights
+// w_{q,t} = log(f_{q,t}+1)·log(N/f_t+1) with N and f_t global. Requires
+// SetupVocabulary.
+func (f *Federation) GlobalWeights(query string) (map[string]float64, error) {
+	vs := f.vocab.Load()
+	if vs == nil {
+		return nil, errors.New("core: SetupVocabulary has not run")
+	}
+	terms := f.analyzer.Terms(nil, query)
+	freqs := make(map[string]uint32, len(terms))
+	for _, t := range terms {
+		freqs[t]++
+	}
+	weights := make(map[string]float64, len(freqs))
+	n := float64(f.totalDocs)
+	for t, fqt := range freqs {
+		ft := vs.globalFT[t]
+		if ft == 0 {
+			continue
+		}
+		weights[t] = math.Log(float64(fqt)+1) * math.Log(n/float64(ft)+1)
+	}
+	return weights, nil
+}
+
+// VocabularySize returns the number of distinct terms in the merged
+// vocabulary and its approximate storage cost in bytes. Zeroes before
+// SetupVocabulary has run.
+func (f *Federation) VocabularySize() (terms int, bytes uint64) {
+	vs := f.vocab.Load()
+	if vs == nil {
+		return 0, 0
+	}
+	for t := range vs.globalFT {
+		bytes += uint64(len(t)) + 8
+	}
+	return len(vs.globalFT), bytes
+}
+
+// SetupCentralIndex installs the grouped central index for CI queries. The
+// grouped index must have been built over the same documents in the same
+// global order (see BuildGrouped); this is the offline "merge the
+// subcollection indexes" preprocessing the paper describes. The index is
+// installed atomically: in-flight CI queries complete against whichever
+// index they started with.
+func (f *Federation) SetupCentralIndex(g *GroupedIndex) error {
+	if g == nil {
+		return errors.New("core: nil grouped index")
+	}
+	if g.totalDocs != f.totalDocs {
+		return fmt.Errorf("core: grouped index covers %d docs, receptionist %d", g.totalDocs, f.totalDocs)
+	}
+	f.central.Store(g)
+	return nil
+}
+
+// CentralIndex returns the installed grouped central index, or nil before
+// SetupCentralIndex / SetupCentralIndexRemote has run.
+func (f *Federation) CentralIndex() *GroupedIndex { return f.central.Load() }
+
+// modelFor returns the named librarian's document-decompression model, or
+// nil before SetupModels has run.
+func (f *Federation) modelFor(name string) *huffman.TextModel {
+	ms := f.models.Load()
+	if ms == nil {
+		return nil
+	}
+	return (*ms)[name]
+}

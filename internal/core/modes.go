@@ -11,10 +11,10 @@ import (
 // queryCN implements Central Nothing: every librarian ranks with its own
 // local statistics; the receptionist merges the kS results with the
 // configured fusion strategy (face value by default, as in the paper).
-func (r *Receptionist) queryCN(res *Result, query string, k int, opts Options) error {
-	names := r.allNames()
+func (e *exec) queryCN(res *Result, query string, k int, opts Options) error {
+	names := e.fed.Librarians()
 	res.Trace.LibrariansAsked = len(names)
-	replies, err := r.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
+	replies, err := e.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
 		return &protocol.RankQuery{Query: query, K: uint32(k)}
 	})
 	if err != nil {
@@ -24,24 +24,27 @@ func (r *Receptionist) queryCN(res *Result, query string, k int, opts Options) e
 	if strategy == 0 {
 		strategy = MergeFaceValue
 	}
-	return r.mergeWith(res, replies, k, strategy)
+	return e.mergeWith(res, replies, k, strategy)
 }
 
 // queryCV implements Central Vocabulary: the receptionist computes global
 // term weights from its merged vocabulary, skips librarians holding none of
 // the query terms, and ships the weights with the query. Librarian scores
 // are then exactly the mono-server scores.
-func (r *Receptionist) queryCV(res *Result, query string, k int) error {
-	weights, err := r.GlobalWeights(query)
+func (e *exec) queryCV(res *Result, query string, k int) error {
+	weights, err := e.fed.GlobalWeights(query)
 	if err != nil {
 		return err
 	}
 	// Collection selection: a librarian whose vocabulary contains none of
-	// the weighted terms cannot contribute and is not contacted.
+	// the weighted terms cannot contribute and is not contacted. The vocab
+	// snapshot is loaded once so selection and weighting agree even if a
+	// re-setup lands mid-query.
+	vs := e.fed.vocab.Load()
 	var names []string
-	for _, li := range r.libs {
+	for i, li := range e.fed.libs {
 		for term := range weights {
-			if li.vocab[term] > 0 {
+			if vs.perLib[i][term] > 0 {
 				names = append(names, li.name)
 				break
 			}
@@ -52,23 +55,24 @@ func (r *Receptionist) queryCV(res *Result, query string, k int) error {
 		res.Answers = nil
 		return nil
 	}
-	replies, err := r.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
+	replies, err := e.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
 		return &protocol.RankQuery{Query: query, K: uint32(k), Weights: weights}
 	})
 	if err != nil {
 		return err
 	}
-	return r.mergeRankings(res, replies, k)
+	return e.mergeRankings(res, replies, k)
 }
 
 // queryCI implements Central Index: rank groups on the central grouped
 // index, expand the best k' groups into document ids, have the owning
 // librarians score exactly those documents with global weights, and merge.
-func (r *Receptionist) queryCI(res *Result, query string, k int, opts Options) error {
-	if r.central == nil {
+func (e *exec) queryCI(res *Result, query string, k int, opts Options) error {
+	central := e.fed.CentralIndex()
+	if central == nil {
 		return errors.New("core: SetupCentralIndex has not run")
 	}
-	weights, err := r.GlobalWeights(query)
+	weights, err := e.fed.GlobalWeights(query)
 	if err != nil {
 		return err
 	}
@@ -76,17 +80,17 @@ func (r *Receptionist) queryCI(res *Result, query string, k int, opts Options) e
 	if kPrime <= 0 {
 		kPrime = DefaultKPrime
 	}
-	groups, centralStats, err := r.central.RankGroups(query, kPrime)
+	groups, centralStats, err := central.RankGroups(query, kPrime)
 	if err != nil {
 		return err
 	}
 	res.Trace.CentralStats = centralStats
 
-	globalDocs := r.central.Expand(groups)
+	globalDocs := central.Expand(groups)
 	// Partition expanded documents by owning librarian.
 	byLib := make(map[string][]uint32)
 	for _, g := range globalDocs {
-		name, local, err := r.ResolveGlobal(g)
+		name, local, err := e.fed.ResolveGlobal(g)
 		if err != nil {
 			return err
 		}
@@ -104,24 +108,24 @@ func (r *Receptionist) queryCI(res *Result, query string, k int, opts Options) e
 		res.Answers = nil
 		return nil
 	}
-	replies, err := r.callParallel(&res.Trace, PhaseRank, names, func(name string) protocol.Message {
+	replies, err := e.callParallel(&res.Trace, PhaseRank, names, func(name string) protocol.Message {
 		return &protocol.ScoreDocs{Query: query, Docs: byLib[name], Weights: weights}
 	})
 	if err != nil {
 		return err
 	}
-	return r.mergeRankings(res, replies, k)
+	return e.mergeRankings(res, replies, k)
 }
 
 // mergeRankings collates per-librarian rankings into the global top k,
 // accepting scores exactly (CV/CI, where weights make them globally
 // comparable).
-func (r *Receptionist) mergeRankings(res *Result, replies map[string]protocol.Message, k int) error {
-	return r.mergeWith(res, replies, k, MergeFaceValue)
+func (e *exec) mergeRankings(res *Result, replies map[string]protocol.Message, k int) error {
+	return e.mergeWith(res, replies, k, MergeFaceValue)
 }
 
 // mergeWith collates per-librarian rankings under a fusion strategy.
-func (r *Receptionist) mergeWith(res *Result, replies map[string]protocol.Message, k int, strategy MergeStrategy) error {
+func (e *exec) mergeWith(res *Result, replies map[string]protocol.Message, k int, strategy MergeStrategy) error {
 	lists := make(map[string][]Answer, len(replies))
 	total := 0
 	for name, reply := range replies {
@@ -129,7 +133,7 @@ func (r *Receptionist) mergeWith(res *Result, replies map[string]protocol.Messag
 		if !ok {
 			return fmt.Errorf("core: librarian %q answered rank phase with %v", name, reply.Type())
 		}
-		li := r.byName[name]
+		li := e.fed.byName[name]
 		answers := make([]Answer, 0, len(rr.Results))
 		for _, sd := range rr.Results {
 			if sd.Score <= 0 {
@@ -149,6 +153,6 @@ func (r *Receptionist) mergeWith(res *Result, replies map[string]protocol.Messag
 		total += len(answers)
 	}
 	res.Trace.MergeCandidates = total
-	res.Answers = fuse(strategy, lists, r.allNames(), k)
+	res.Answers = fuse(strategy, lists, e.fed.Librarians(), k)
 	return nil
 }

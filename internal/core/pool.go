@@ -1,0 +1,400 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"teraphim/internal/huffman"
+	"teraphim/internal/index"
+	"teraphim/internal/protocol"
+	"teraphim/internal/simnet"
+	"teraphim/internal/textproc"
+)
+
+// DefaultMaxConnsPerLibrarian bounds how many connections a Pool keeps per
+// librarian when Config.MaxConnsPerLibrarian is zero.
+const DefaultMaxConnsPerLibrarian = 4
+
+// ErrPoolClosed is returned by Acquire / Query / Setup* after Close.
+var ErrPoolClosed = errors.New("core: pool is closed")
+
+// Pool owns every connection the federation holds to its librarians and
+// bounds them at MaxConnsPerLibrarian per librarian. Sessions lease a
+// connection per exchange (Acquire/Release); idle connections are reused,
+// and a connection whose stream was interrupted mid-message (dirty) is
+// discarded rather than returned — the next frame on it would decode
+// garbage, so the redial logic from the fault-tolerance layer replaces it
+// instead.
+//
+// A Pool is safe for concurrent use. Close may race with in-flight queries:
+// it closes every connection (waking blocked readers), and subsequent
+// leases fail with ErrPoolClosed.
+type Pool struct {
+	fed    *Federation
+	dialer simnet.Dialer
+	max    int
+
+	// slots[name] is a counting semaphore bounding live leases per
+	// librarian; immutable after NewPool.
+	slots map[string]chan struct{}
+	// done is closed by Close so blocked Acquires fail fast.
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	idle   map[string][]net.Conn
+	leased map[net.Conn]string
+}
+
+// NewPool dials nothing eagerly beyond the Hello handshake: it contacts
+// every named librarian once to learn document counts, fixes the global
+// numbering (concatenation order = the order of names), and returns a Pool
+// whose Federation is ready for CN queries. CV/CI/compressed-fetch need the
+// corresponding Setup* call first.
+func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
+	if len(names) == 0 {
+		return nil, errors.New("core: no librarians")
+	}
+	analyzer := cfg.Analyzer
+	if analyzer == nil {
+		analyzer = textproc.NewAnalyzer()
+	}
+	max := cfg.MaxConnsPerLibrarian
+	if max <= 0 {
+		max = DefaultMaxConnsPerLibrarian
+	}
+	fed := &Federation{
+		analyzer: analyzer,
+		byName:   make(map[string]*libMeta, len(names)),
+	}
+	p := &Pool{
+		fed:    fed,
+		dialer: dialer,
+		max:    max,
+		slots:  make(map[string]chan struct{}, len(names)),
+		done:   make(chan struct{}),
+		idle:   make(map[string][]net.Conn, len(names)),
+		leased: make(map[net.Conn]string),
+	}
+	for _, name := range names {
+		if _, dup := fed.byName[name]; dup {
+			return nil, fmt.Errorf("core: duplicate librarian %q", name)
+		}
+		li := &libMeta{name: name}
+		fed.libs = append(fed.libs, li)
+		fed.byName[name] = li
+		p.slots[name] = make(chan struct{}, max)
+	}
+
+	// Hello exchange: one call per librarian, zero policy (setup is never
+	// partial — see DESIGN.md). The libMeta writes below happen before the
+	// Pool escapes to any other goroutine.
+	e := &exec{fed: fed, pool: p}
+	var trace Trace
+	replies, err := e.callParallel(&trace, PhaseSetup, names, func(string) protocol.Message {
+		return &protocol.Hello{}
+	})
+	if err != nil {
+		p.Close()
+		return nil, fmt.Errorf("core: connect: %w", err)
+	}
+	var offset uint32
+	for _, li := range fed.libs {
+		hello, ok := replies[li.name].(*protocol.HelloReply)
+		if !ok {
+			p.Close()
+			return nil, fmt.Errorf("core: librarian %q answered Hello with %v", li.name, replies[li.name].Type())
+		}
+		li.hello = hello
+		li.numDocs = hello.NumDocs
+		li.offset = offset
+		offset += hello.NumDocs
+	}
+	fed.totalDocs = offset
+	return p, nil
+}
+
+// Federation returns the shared federation state served by this pool.
+func (p *Pool) Federation() *Federation { return p.fed }
+
+// Session returns a lightweight query-serving handle over this pool. A
+// Session carries no mutable state: creating one is free, and any number
+// may be used concurrently.
+func (p *Pool) Session() *Session { return &Session{fed: p.fed, pool: p} }
+
+// Query leases a session for a single query — the convenience path for
+// callers that don't want to hold a Session.
+func (p *Pool) Query(mode Mode, query string, k int, opts Options) (*Result, error) {
+	return p.Session().Query(mode, query, k, opts)
+}
+
+// Boolean leases a session for a single Boolean query.
+func (p *Pool) Boolean(expr string) (*BooleanResult, error) {
+	return p.Session().Boolean(expr)
+}
+
+// PooledConn is one leased connection to one librarian. It is owned by a
+// single goroutine between Acquire and Release; the pool only touches it
+// again at Close (to unblock a stuck read) and at Release.
+type PooledConn struct {
+	pool  *Pool
+	name  string
+	conn  net.Conn
+	dirty bool
+}
+
+// Librarian returns the name of the librarian this lease is bound to.
+func (pc *PooledConn) Librarian() string { return pc.name }
+
+// Conn returns the underlying connection. Nil is possible only between a
+// failed ensure (dial error) and Release.
+func (pc *PooledConn) Conn() net.Conn { return pc.conn }
+
+// MarkDirty records that the stream was interrupted mid-message. The
+// connection will be discarded: the next exchange on this lease redials,
+// and Release closes it instead of returning it to the idle list.
+func (pc *PooledConn) MarkDirty() { pc.dirty = true }
+
+// ensure makes the lease usable: on first use or after MarkDirty it
+// discards the old connection and dials a fresh one through the pool's
+// dialer. Dial failures leave the lease empty so a later retry can try
+// again.
+func (pc *PooledConn) ensure() error {
+	if pc.conn != nil && !pc.dirty {
+		return nil
+	}
+	p := pc.pool
+	if pc.conn != nil {
+		p.mu.Lock()
+		delete(p.leased, pc.conn)
+		p.mu.Unlock()
+		_ = pc.conn.Close()
+		pc.conn = nil
+		pc.dirty = false
+	}
+	conn, err := p.dialer.Dial(pc.name)
+	if err != nil {
+		return fmt.Errorf("redial: %w", err)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return ErrPoolClosed
+	}
+	p.leased[conn] = pc.name
+	p.mu.Unlock()
+	pc.conn = conn
+	return nil
+}
+
+// lease takes a per-librarian slot and, if one is idle, an existing
+// connection — without dialing. The exchange loop dials lazily via ensure
+// so that dial failures participate in the retry/backoff policy.
+func (p *Pool) lease(name string) (*PooledConn, error) {
+	slot, ok := p.slots[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown librarian %q", name)
+	}
+	select {
+	case slot <- struct{}{}:
+	case <-p.done:
+		return nil, ErrPoolClosed
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-slot
+		return nil, ErrPoolClosed
+	}
+	pc := &PooledConn{pool: p, name: name}
+	if list := p.idle[name]; len(list) > 0 {
+		pc.conn = list[len(list)-1]
+		p.idle[name] = list[:len(list)-1]
+		p.leased[pc.conn] = name
+	}
+	p.mu.Unlock()
+	return pc, nil
+}
+
+// Acquire leases a ready connection to the named librarian, blocking while
+// all MaxConnsPerLibrarian leases are out. The caller must Release it
+// (always — even after errors on the connection; mark those leases dirty
+// first so the stream is discarded).
+func (p *Pool) Acquire(name string) (*PooledConn, error) {
+	pc, err := p.lease(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := pc.ensure(); err != nil {
+		p.Release(pc)
+		return nil, err
+	}
+	return pc, nil
+}
+
+// Release returns a lease to the pool: a clean connection goes back on the
+// idle list for reuse; a dirty (or post-Close) connection is closed.
+// Release is idempotent per lease only in the sense that callers must not
+// release the same PooledConn twice.
+func (p *Pool) Release(pc *PooledConn) {
+	if pc == nil || pc.pool != p {
+		return
+	}
+	p.mu.Lock()
+	if pc.conn != nil {
+		delete(p.leased, pc.conn)
+		if pc.dirty || p.closed {
+			_ = pc.conn.Close()
+		} else {
+			p.idle[pc.name] = append(p.idle[pc.name], pc.conn)
+		}
+		pc.conn = nil
+	}
+	p.mu.Unlock()
+	// Free the slot last, so a waiter that gets it observes the idle list
+	// already updated.
+	<-p.slots[pc.name]
+}
+
+// Close shuts the pool down. Idle connections are closed immediately;
+// leased connections are closed too, which wakes any exchange blocked on a
+// read — the owning session observes a transport error and then fails its
+// redial with ErrPoolClosed. Close is idempotent and safe to call while
+// queries are in flight: no panic, no leaked connections.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	var conns []net.Conn
+	for _, list := range p.idle {
+		conns = append(conns, list...)
+	}
+	p.idle = make(map[string][]net.Conn)
+	for conn := range p.leased {
+		conns = append(conns, conn)
+	}
+	p.mu.Unlock()
+	var first error
+	for _, conn := range conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SetupVocabulary fetches every librarian's vocabulary and installs the
+// merged global statistics (the CV methodology's central state). The new
+// vocabulary becomes visible to queries atomically. Setup runs with the
+// zero policy: a partially merged vocabulary would silently change CV
+// scores rather than visibly degrade them.
+func (p *Pool) SetupVocabulary() (Trace, error) {
+	e := &exec{fed: p.fed, pool: p}
+	var trace Trace
+	trace.Mode = ModeCV
+	names := p.fed.Librarians()
+	replies, err := e.callParallel(&trace, PhaseSetup, names, func(string) protocol.Message {
+		return &protocol.VocabRequest{}
+	})
+	if err != nil {
+		return trace, err
+	}
+	vs := &vocabState{
+		globalFT: make(map[string]uint32, 1<<12),
+		perLib:   make([]map[string]uint32, len(p.fed.libs)),
+	}
+	for i, li := range p.fed.libs {
+		vr, ok := replies[li.name].(*protocol.VocabReply)
+		if !ok {
+			return trace, fmt.Errorf("core: librarian %q answered VocabRequest with %v", li.name, replies[li.name].Type())
+		}
+		local := make(map[string]uint32, len(vr.Terms))
+		for _, ts := range vr.Terms {
+			local[ts.Term] = ts.FT
+			vs.globalFT[ts.Term] += ts.FT
+		}
+		vs.perLib[i] = local
+	}
+	p.fed.vocab.Store(vs)
+	return trace, nil
+}
+
+// SetupModels fetches each librarian's compressed-text model so fetched
+// documents can be shipped compressed and decoded at the receptionist.
+func (p *Pool) SetupModels() (Trace, error) {
+	e := &exec{fed: p.fed, pool: p}
+	var trace Trace
+	names := p.fed.Librarians()
+	replies, err := e.callParallel(&trace, PhaseSetup, names, func(string) protocol.Message {
+		return &protocol.ModelRequest{}
+	})
+	if err != nil {
+		return trace, err
+	}
+	ms := make(modelSet, len(p.fed.libs))
+	for _, li := range p.fed.libs {
+		mr, ok := replies[li.name].(*protocol.ModelReply)
+		if !ok {
+			return trace, fmt.Errorf("core: librarian %q answered ModelRequest with %v", li.name, replies[li.name].Type())
+		}
+		model, err := huffman.UnmarshalTextModel(mr.Model)
+		if err != nil {
+			return trace, fmt.Errorf("core: librarian %q model: %w", li.name, err)
+		}
+		ms[li.name] = model
+	}
+	p.fed.models.Store(&ms)
+	return trace, nil
+}
+
+// SetupCentralIndexRemote performs the CI preprocessing entirely over the
+// wire: fetch every librarian's inverted index, merge them into a grouped
+// central index with groups of groupSize adjacent documents, and install
+// it atomically. The returned trace records the (large) one-time transfer
+// cost the paper's §4 discusses for the CI receptionist.
+func (p *Pool) SetupCentralIndexRemote(groupSize int) (Trace, error) {
+	e := &exec{fed: p.fed, pool: p}
+	var trace Trace
+	trace.Mode = ModeCI
+	names := p.fed.Librarians()
+	replies, err := e.callParallel(&trace, PhaseSetup, names, func(string) protocol.Message {
+		return &protocol.IndexRequest{}
+	})
+	if err != nil {
+		return trace, err
+	}
+	subIndexes := make([]*index.Index, len(p.fed.libs))
+	offsets := make([]uint32, len(p.fed.libs))
+	for i, li := range p.fed.libs {
+		ir, ok := replies[li.name].(*protocol.IndexReply)
+		if !ok {
+			return trace, fmt.Errorf("core: librarian %q answered IndexRequest with %v", li.name, replies[li.name].Type())
+		}
+		ix, err := index.ReadFrom(bytes.NewReader(ir.Data))
+		if err != nil {
+			return trace, fmt.Errorf("core: librarian %q index: %w", li.name, err)
+		}
+		if ix.NumDocs() != li.numDocs {
+			return trace, fmt.Errorf("core: librarian %q shipped index of %d docs, expected %d",
+				li.name, ix.NumDocs(), li.numDocs)
+		}
+		subIndexes[i] = ix
+		offsets[i] = li.offset
+	}
+	grouped, err := BuildGroupedFromIndexes(subIndexes, offsets, p.fed.totalDocs, groupSize, p.fed.analyzer)
+	if err != nil {
+		return trace, err
+	}
+	if err := p.fed.SetupCentralIndex(grouped); err != nil {
+		return trace, err
+	}
+	return trace, nil
+}

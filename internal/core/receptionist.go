@@ -1,18 +1,9 @@
 package core
 
 import (
-	"bytes"
-	"errors"
 	"fmt"
-	"math"
-	"net"
-	"sort"
-	"sync"
 	"time"
 
-	"teraphim/internal/huffman"
-	"teraphim/internal/index"
-	"teraphim/internal/protocol"
 	"teraphim/internal/simnet"
 	"teraphim/internal/textproc"
 )
@@ -82,211 +73,79 @@ type Options struct {
 // DefaultKPrime is the paper's default k' for the CI methodology.
 const DefaultKPrime = 100
 
-// libInfo is the receptionist's knowledge of one librarian.
-type libInfo struct {
-	name    string
-	conn    net.Conn
-	dialer  simnet.Dialer // stored at Connect time, for redials
-	dirty   bool          // stream desynced by a failed exchange; redial before reuse
-	numDocs uint32
-	offset  uint32 // global id of this librarian's local doc 0
-
-	vocab map[string]uint32    // term -> local f_t (after SetupVocabulary)
-	model *huffman.TextModel   // document decompressor (after SetupModels)
-	hello *protocol.HelloReply // collection statistics
-}
-
-// Receptionist brokers queries to a fixed set of librarians. It is not safe
-// for concurrent use; run one receptionist per client session, as TERAPHIM
-// does (each librarian accepts many sessions).
-type Receptionist struct {
-	analyzer *textproc.Analyzer
-	libs     []*libInfo
-	byName   map[string]*libInfo
-
-	totalDocs uint32
-	globalFT  map[string]uint32 // merged vocabulary (after SetupVocabulary)
-	central   *GroupedIndex     // CI state (after SetupCentralIndex)
-
-	// policy applies to librarian exchanges of the query in flight; see
-	// callPolicy. Setup exchanges run with the zero policy.
-	policy callPolicy
-
-	closed bool
-}
-
-// Config configures a Receptionist.
+// Config configures a Receptionist (and the Pool underneath it).
 type Config struct {
 	// Analyzer must match the librarians' analysis pipeline. Nil selects
 	// the standard pipeline.
 	Analyzer *textproc.Analyzer
+	// MaxConnsPerLibrarian bounds how many connections the pool keeps open
+	// to each librarian, and therefore how many exchanges can run against
+	// one librarian concurrently. Zero selects
+	// DefaultMaxConnsPerLibrarian.
+	MaxConnsPerLibrarian int
+}
+
+// Receptionist brokers queries to a fixed set of librarians. It is a thin
+// handle over a shared Federation (global numbering, merged vocabulary,
+// models, central index) and a bounded connection Pool, and is safe for
+// concurrent use: any number of goroutines may Query at once, sharing the
+// setup work done once. Use Pool()/Federation() directly for finer control
+// (per-client Sessions, explicit connection leases).
+type Receptionist struct {
+	pool *Pool
 }
 
 // Connect dials the named librarians (in the given order — the order fixes
 // global document numbering) and performs the Hello exchange.
 func Connect(dialer simnet.Dialer, names []string, cfg Config) (*Receptionist, error) {
-	if len(names) == 0 {
-		return nil, errors.New("core: no librarians")
-	}
-	analyzer := cfg.Analyzer
-	if analyzer == nil {
-		analyzer = textproc.NewAnalyzer()
-	}
-	r := &Receptionist{analyzer: analyzer, byName: make(map[string]*libInfo, len(names))}
-	for _, name := range names {
-		conn, err := dialer.Dial(name)
-		if err != nil {
-			r.Close()
-			return nil, fmt.Errorf("core: connect %q: %w", name, err)
-		}
-		li := &libInfo{name: name, conn: conn, dialer: dialer}
-		r.libs = append(r.libs, li)
-		r.byName[name] = li
-	}
-	// Hello exchange establishes sizes and global numbering.
-	var trace Trace
-	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
-		return &protocol.Hello{}
-	})
+	pool, err := NewPool(dialer, names, cfg)
 	if err != nil {
-		r.Close()
 		return nil, err
 	}
-	var offset uint32
-	for _, li := range r.libs {
-		hello, ok := replies[li.name].(*protocol.HelloReply)
-		if !ok {
-			r.Close()
-			return nil, fmt.Errorf("core: librarian %q answered Hello with %v", li.name, replies[li.name].Type())
-		}
-		li.hello = hello
-		li.numDocs = hello.NumDocs
-		li.offset = offset
-		offset += hello.NumDocs
-	}
-	r.totalDocs = offset
-	return r, nil
+	return &Receptionist{pool: pool}, nil
 }
 
-// Close closes every librarian connection.
-func (r *Receptionist) Close() error {
-	if r.closed {
-		return nil
-	}
-	r.closed = true
-	var firstErr error
-	for _, li := range r.libs {
-		if li.conn == nil {
-			continue
-		}
-		if err := li.conn.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
-}
+// Pool returns the connection pool serving this receptionist.
+func (r *Receptionist) Pool() *Pool { return r.pool }
+
+// Federation returns the shared federation state behind this receptionist.
+func (r *Receptionist) Federation() *Federation { return r.pool.fed }
+
+// Close closes every librarian connection, idle or leased. Queries in
+// flight fail with transport errors (or complete their current exchange);
+// new queries fail with ErrPoolClosed. Close is idempotent.
+func (r *Receptionist) Close() error { return r.pool.Close() }
 
 // Librarians returns the librarian names in global-numbering order.
-func (r *Receptionist) Librarians() []string { return r.allNames() }
+func (r *Receptionist) Librarians() []string { return r.pool.fed.Librarians() }
 
 // TotalDocs returns the number of documents across all librarians.
-func (r *Receptionist) TotalDocs() uint32 { return r.totalDocs }
-
-func (r *Receptionist) allNames() []string {
-	names := make([]string, len(r.libs))
-	for i, li := range r.libs {
-		names[i] = li.name
-	}
-	return names
-}
+func (r *Receptionist) TotalDocs() uint32 { return r.pool.fed.TotalDocs() }
 
 // GlobalDoc converts (librarian, local id) to the global document number.
 func (r *Receptionist) GlobalDoc(name string, local uint32) (uint32, error) {
-	li, ok := r.byName[name]
-	if !ok {
-		return 0, fmt.Errorf("core: unknown librarian %q", name)
-	}
-	if local >= li.numDocs {
-		return 0, fmt.Errorf("core: doc %d outside %q's %d documents", local, name, li.numDocs)
-	}
-	return li.offset + local, nil
+	return r.pool.fed.GlobalDoc(name, local)
 }
 
 // ResolveGlobal converts a global document number to (librarian, local id).
-// CI expansion calls this once per candidate document, so it binary-searches
-// the offset table (librarians are stored in global-numbering order) rather
-// than scanning it.
 func (r *Receptionist) ResolveGlobal(global uint32) (string, uint32, error) {
-	if global >= r.totalDocs {
-		return "", 0, fmt.Errorf("core: global doc %d outside collection of %d", global, r.totalDocs)
-	}
-	// The last librarian whose offset is <= global owns it: any earlier
-	// librarian with the same offset is empty, and the next one starts past
-	// global.
-	i := sort.Search(len(r.libs), func(i int) bool { return r.libs[i].offset > global }) - 1
-	li := r.libs[i]
-	return li.name, global - li.offset, nil
+	return r.pool.fed.ResolveGlobal(global)
 }
 
 // SetupVocabulary performs the CV preprocessing step: fetch each librarian's
 // vocabulary and merge into the global term statistics. The returned trace
 // records the transfer cost. Required before CV or CI queries.
-func (r *Receptionist) SetupVocabulary() (Trace, error) {
-	var trace Trace
-	trace.Mode = ModeCV
-	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
-		return &protocol.VocabRequest{}
-	})
-	if err != nil {
-		return trace, err
-	}
-	r.globalFT = make(map[string]uint32, 4096)
-	for _, li := range r.libs {
-		vr, ok := replies[li.name].(*protocol.VocabReply)
-		if !ok {
-			return trace, fmt.Errorf("core: librarian %q answered VocabRequest with %v", li.name, replies[li.name].Type())
-		}
-		li.vocab = make(map[string]uint32, len(vr.Terms))
-		for _, ts := range vr.Terms {
-			li.vocab[ts.Term] = ts.FT
-			r.globalFT[ts.Term] += ts.FT
-		}
-	}
-	return trace, nil
-}
+func (r *Receptionist) SetupVocabulary() (Trace, error) { return r.pool.SetupVocabulary() }
 
 // VocabularySize returns the number of distinct terms in the merged
 // vocabulary and its approximate storage cost in bytes.
 func (r *Receptionist) VocabularySize() (terms int, bytes uint64) {
-	for t := range r.globalFT {
-		bytes += uint64(len(t)) + 8
-	}
-	return len(r.globalFT), bytes
+	return r.pool.fed.VocabularySize()
 }
 
 // SetupModels fetches each librarian's document-compression model, enabling
 // compressed document transfer.
-func (r *Receptionist) SetupModels() (Trace, error) {
-	var trace Trace
-	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
-		return &protocol.ModelRequest{}
-	})
-	if err != nil {
-		return trace, err
-	}
-	for _, li := range r.libs {
-		mr, ok := replies[li.name].(*protocol.ModelReply)
-		if !ok {
-			return trace, fmt.Errorf("core: librarian %q answered ModelRequest with %v", li.name, replies[li.name].Type())
-		}
-		model, err := huffman.UnmarshalTextModel(mr.Model)
-		if err != nil {
-			return trace, fmt.Errorf("core: librarian %q model: %w", li.name, err)
-		}
-		li.model = model
-	}
-	return trace, nil
-}
+func (r *Receptionist) SetupModels() (Trace, error) { return r.pool.SetupModels() }
 
 // SetupCentralIndexRemote performs the CI preprocessing entirely over the
 // wire: fetch every librarian's inverted index, merge them into a grouped
@@ -294,38 +153,7 @@ func (r *Receptionist) SetupModels() (Trace, error) {
 // it. The returned trace records the (large) one-time transfer cost the
 // paper's §4 discusses for the CI receptionist.
 func (r *Receptionist) SetupCentralIndexRemote(groupSize int) (Trace, error) {
-	var trace Trace
-	trace.Mode = ModeCI
-	replies, err := r.callParallel(&trace, PhaseSetup, r.allNames(), func(string) protocol.Message {
-		return &protocol.IndexRequest{}
-	})
-	if err != nil {
-		return trace, err
-	}
-	subIndexes := make([]*index.Index, len(r.libs))
-	offsets := make([]uint32, len(r.libs))
-	for i, li := range r.libs {
-		ir, ok := replies[li.name].(*protocol.IndexReply)
-		if !ok {
-			return trace, fmt.Errorf("core: librarian %q answered IndexRequest with %v", li.name, replies[li.name].Type())
-		}
-		ix, err := index.ReadFrom(bytes.NewReader(ir.Data))
-		if err != nil {
-			return trace, fmt.Errorf("core: librarian %q index: %w", li.name, err)
-		}
-		if ix.NumDocs() != li.numDocs {
-			return trace, fmt.Errorf("core: librarian %q shipped index of %d docs, expected %d",
-				li.name, ix.NumDocs(), li.numDocs)
-		}
-		subIndexes[i] = ix
-		offsets[i] = li.offset
-	}
-	grouped, err := BuildGroupedFromIndexes(subIndexes, offsets, r.totalDocs, groupSize, r.analyzer)
-	if err != nil {
-		return trace, err
-	}
-	r.central = grouped
-	return trace, nil
+	return r.pool.SetupCentralIndexRemote(groupSize)
 }
 
 // SetupCentralIndex installs the grouped central index for CI queries. The
@@ -333,208 +161,23 @@ func (r *Receptionist) SetupCentralIndexRemote(groupSize int) (Trace, error) {
 // global order (see BuildGrouped); this is the offline "merge the
 // subcollection indexes" preprocessing the paper describes.
 func (r *Receptionist) SetupCentralIndex(g *GroupedIndex) error {
-	if g == nil {
-		return errors.New("core: nil grouped index")
-	}
-	if g.totalDocs != r.totalDocs {
-		return fmt.Errorf("core: grouped index covers %d docs, receptionist %d", g.totalDocs, r.totalDocs)
-	}
-	r.central = g
-	return nil
+	return r.pool.fed.SetupCentralIndex(g)
 }
 
 // GlobalWeights computes the merged-vocabulary query weights
 // w_{q,t} = log(f_{q,t}+1)·log(N/f_t+1) with N and f_t global. Requires
 // SetupVocabulary.
 func (r *Receptionist) GlobalWeights(query string) (map[string]float64, error) {
-	if r.globalFT == nil {
-		return nil, errors.New("core: SetupVocabulary has not run")
-	}
-	terms := r.analyzer.Terms(nil, query)
-	freqs := make(map[string]uint32, len(terms))
-	for _, t := range terms {
-		freqs[t]++
-	}
-	weights := make(map[string]float64, len(freqs))
-	n := float64(r.totalDocs)
-	for t, fqt := range freqs {
-		ft := r.globalFT[t]
-		if ft == 0 {
-			continue
-		}
-		weights[t] = math.Log(float64(fqt)+1) * math.Log(n/float64(ft)+1)
-	}
-	return weights, nil
+	return r.pool.fed.GlobalWeights(query)
 }
 
 // Query evaluates a ranked query under the given methodology, returning the
-// top k answers merged across librarians.
+// top k answers merged across librarians. Safe for concurrent use.
 func (r *Receptionist) Query(mode Mode, query string, k int, opts Options) (*Result, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
-	}
-	res := &Result{}
-	res.Trace.Mode = mode
-	r.policy = policyFor(opts)
-	defer func() { r.policy = callPolicy{} }()
-	var err error
-	switch mode {
-	case ModeCN:
-		err = r.queryCN(res, query, k, opts)
-	case ModeCV:
-		err = r.queryCV(res, query, k)
-	case ModeCI:
-		err = r.queryCI(res, query, k, opts)
-	default:
-		return nil, fmt.Errorf("core: receptionist cannot evaluate mode %v", mode)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if opts.Fetch {
-		if err := r.fetchAnswers(res, opts.CompressedTransfer); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return r.pool.Query(mode, query, k, opts)
 }
 
-// callParallel sends one request to each named librarian concurrently and
-// waits for every outcome, appending per-attempt Call records to trace. A
-// librarian whose exchange fails is retried per the current policy (redial,
-// capped exponential backoff); one that exhausts its attempts is recorded in
-// trace.Failures. Whether a failure fails the whole call depends on the
-// policy: without AllowPartial the first failure is returned as an error
-// (an ErrorReply surfaces as a *protocol.RemoteError); with it, the
-// surviving replies are returned and trace.Degraded is set, provided at
-// least MinLibrarians answered the rank phase.
-func (r *Receptionist) callParallel(trace *Trace, phase Phase, names []string, makeReq func(name string) protocol.Message) (map[string]protocol.Message, error) {
-	type outcome struct {
-		name  string
-		calls []Call
-		reply protocol.Message
-		fail  *Failure
-	}
-	results := make(chan outcome, len(names))
-	var wg sync.WaitGroup
-	for _, name := range names {
-		li, ok := r.byName[name]
-		if !ok {
-			return nil, fmt.Errorf("core: unknown librarian %q", name)
-		}
-		req := makeReq(name)
-		wg.Add(1)
-		go func(li *libInfo, req protocol.Message) {
-			defer wg.Done()
-			calls, reply, fail := r.callLibrarian(li, phase, req)
-			results <- outcome{name: li.name, calls: calls, reply: reply, fail: fail}
-		}(li, req)
-	}
-	wg.Wait()
-	close(results)
-
-	replies := make(map[string]protocol.Message, len(names))
-	var failures []Failure
-	for out := range results {
-		trace.Calls = append(trace.Calls, out.calls...)
-		if out.fail != nil {
-			failures = append(failures, *out.fail)
-			continue
-		}
-		replies[out.name] = out.reply
-	}
-	// Keep trace ordering deterministic for tests and cost accounting; the
-	// stable sort preserves attempt order within a (phase, librarian) pair.
-	sort.SliceStable(trace.Calls, func(i, j int) bool {
-		if trace.Calls[i].Phase != trace.Calls[j].Phase {
-			return trace.Calls[i].Phase < trace.Calls[j].Phase
-		}
-		return trace.Calls[i].Librarian < trace.Calls[j].Librarian
-	})
-	if len(failures) == 0 {
-		return replies, nil
-	}
-	sort.Slice(failures, func(i, j int) bool { return failures[i].Librarian < failures[j].Librarian })
-	trace.Failures = append(trace.Failures, failures...)
-	if !r.policy.allowPartial {
-		f := failures[0]
-		return nil, fmt.Errorf("core: librarian %q: %w", f.Librarian, f.Err)
-	}
-	trace.Degraded = true
-	if phase == PhaseRank {
-		min := r.policy.minLibrarians
-		if min < 1 {
-			min = 1
-		}
-		if len(replies) < min {
-			return nil, fmt.Errorf("core: only %d of %d librarians answered, need %d",
-				len(replies), len(names), min)
-		}
-	}
-	return replies, nil
-}
-
-// fetchAnswers runs the document-retrieval phase for res.Answers in place.
-func (r *Receptionist) fetchAnswers(res *Result, compressed bool) error {
-	// Group requested docs by librarian; requests are sent in one block per
-	// librarian, per the paper's "documents should be bundled into blocks"
-	// finding.
-	byLib := make(map[string][]uint32)
-	for _, a := range res.Answers {
-		byLib[a.Librarian] = append(byLib[a.Librarian], a.LocalDoc)
-	}
-	names := make([]string, 0, len(byLib))
-	for name, docs := range byLib {
-		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
-		byLib[name] = docs
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil
-	}
-	replies, err := r.callParallel(&res.Trace, PhaseFetch, names, func(name string) protocol.Message {
-		return &protocol.FetchDocs{Docs: byLib[name], Compressed: compressed}
-	})
-	if err != nil {
-		return err
-	}
-	texts := make(map[string]protocol.DocBlob)
-	for name, reply := range replies {
-		fr, ok := reply.(*protocol.FetchReply)
-		if !ok {
-			return fmt.Errorf("core: librarian %q answered FetchDocs with %v", name, reply.Type())
-		}
-		for _, blob := range fr.Docs {
-			texts[fmt.Sprintf("%s:%d", name, blob.Doc)] = blob
-		}
-	}
-	for i := range res.Answers {
-		a := &res.Answers[i]
-		blob, ok := texts[a.Key()]
-		if !ok {
-			if _, answered := replies[a.Librarian]; !answered {
-				// The librarian failed its fetch exchange and the policy
-				// allowed a partial result (recorded in Trace.Failures);
-				// the answer keeps its rank and score, without text.
-				continue
-			}
-			return fmt.Errorf("core: librarian %q did not return doc %d", a.Librarian, a.LocalDoc)
-		}
-		a.Title = blob.Title
-		if blob.Compressed {
-			li := r.byName[a.Librarian]
-			if li.model == nil {
-				return fmt.Errorf("core: compressed transfer from %q but SetupModels has not run", a.Librarian)
-			}
-			text, err := li.model.DecompressDoc(blob.Data)
-			if err != nil {
-				return fmt.Errorf("core: decompress %s: %w", a.Key(), err)
-			}
-			a.Text = text
-		} else {
-			a.Text = string(blob.Data)
-		}
-	}
-	return nil
+// Boolean evaluates expr at every librarian and unions the result sets.
+func (r *Receptionist) Boolean(expr string) (*BooleanResult, error) {
+	return r.pool.Boolean(expr)
 }

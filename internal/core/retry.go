@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
 	"teraphim/internal/protocol"
@@ -12,11 +11,12 @@ import (
 // with several retries cannot stall a query for minutes.
 const maxBackoff = 5 * time.Second
 
-// callPolicy holds the fault-tolerance knobs of the query in flight. The
-// Receptionist is single-session (not safe for concurrent use), so a plain
-// field suffices; setup exchanges (Connect, SetupVocabulary, ...) run with
-// the zero policy — no retries, no partial results — because a partially
-// merged vocabulary or central index would silently corrupt CV/CI semantics.
+// callPolicy holds the fault-tolerance knobs of one query. It lives on the
+// per-query exec (never on shared state), so concurrent queries with
+// different policies cannot interfere; setup exchanges (NewPool,
+// SetupVocabulary, ...) run with the zero policy — no retries, no partial
+// results — because a partially merged vocabulary or central index would
+// silently corrupt CV/CI semantics.
 type callPolicy struct {
 	timeout       time.Duration
 	retries       int
@@ -76,97 +76,4 @@ func retryableError(err error) bool {
 func dirtiesConn(err error) bool {
 	var remote *protocol.RemoteError
 	return !errors.As(err, &remote)
-}
-
-// ensureConn gives li a usable connection, redialling through the dialer
-// stored at Connect time when the previous exchange left the stream desynced
-// (a half-written request or half-read reply must never be reused — the next
-// frame would decode garbage MsgTypes).
-func (li *libInfo) ensureConn() error {
-	if li.conn != nil && !li.dirty {
-		return nil
-	}
-	if li.conn != nil {
-		_ = li.conn.Close()
-		li.conn = nil
-	}
-	conn, err := li.dialer.Dial(li.name)
-	if err != nil {
-		return fmt.Errorf("redial: %w", err)
-	}
-	li.conn = conn
-	li.dirty = false
-	return nil
-}
-
-// callLibrarian drives one librarian through a request/response exchange
-// under the current policy: on a retryable error it marks the connection
-// dirty, waits the capped exponential backoff, redials and re-sends, up to
-// policy.retries extra attempts. It returns every attempt's Call record plus
-// either the reply or the Failure that exhausted the attempts.
-func (r *Receptionist) callLibrarian(li *libInfo, phase Phase, req protocol.Message) ([]Call, protocol.Message, *Failure) {
-	maxAttempts := r.policy.retries + 1
-	var calls []Call
-	var lastErr error
-	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		if attempt > 1 {
-			if d := backoffDelay(r.policy.backoff, attempt-1); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		if err := li.ensureConn(); err != nil {
-			lastErr = err
-			continue
-		}
-		call, reply, err := r.exchange(li, phase, req)
-		calls = append(calls, call)
-		if err == nil {
-			return calls, reply, nil
-		}
-		lastErr = err
-		if dirtiesConn(err) {
-			li.dirty = true
-		}
-		if !retryableError(err) {
-			return calls, nil, &Failure{Librarian: li.name, Phase: phase, Attempts: attempt, Err: err}
-		}
-	}
-	return calls, nil, &Failure{Librarian: li.name, Phase: phase, Attempts: maxAttempts, Err: lastErr}
-}
-
-// exchange performs one request/response round trip on li's current
-// connection, recording traffic and librarian statistics in the Call.
-func (r *Receptionist) exchange(li *libInfo, phase Phase, req protocol.Message) (Call, protocol.Message, error) {
-	call := Call{Librarian: li.name, Phase: phase, ReqType: req.Type()}
-	conn := li.conn
-	if r.policy.timeout > 0 {
-		// Deadline errors surface from the read/write below; a fresh
-		// deadline applies to every attempt.
-		_ = conn.SetDeadline(time.Now().Add(r.policy.timeout))
-		defer func() { _ = conn.SetDeadline(time.Time{}) }()
-	}
-	wrote, err := protocol.WriteMessage(conn, req)
-	call.ReqBytes = wrote
-	if err != nil {
-		return call, nil, err
-	}
-	reply, read, err := protocol.ReadMessage(conn)
-	call.RespBytes = read
-	if err != nil {
-		return call, nil, err
-	}
-	switch m := reply.(type) {
-	case *protocol.ErrorReply:
-		return call, nil, &protocol.RemoteError{Message: m.Message}
-	case *protocol.RankReply:
-		call.LibStats = m.Stats
-	case *protocol.BooleanReply:
-		call.LibStats = m.Stats
-	case *protocol.FetchReply:
-		call.DocsFetched = len(m.Docs)
-		for _, d := range m.Docs {
-			call.DocBytes += len(d.Data)
-		}
-	}
-	return call, reply, nil
 }

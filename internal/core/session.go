@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"teraphim/internal/protocol"
+)
+
+// Session is a lightweight query-serving handle over a shared Federation
+// and its connection Pool. Sessions carry no mutable state of their own —
+// the per-query fault-tolerance policy lives on the stack of each Query
+// call — so one Session may serve many goroutines, and creating one per
+// client costs nothing. This is the paper's "multiple users at capacity"
+// regime: the expensive central state (vocabulary, models, central index)
+// is gathered once into the Federation; each concurrent user only borrows
+// connections for the duration of an exchange.
+type Session struct {
+	fed  *Federation
+	pool *Pool
+}
+
+// Query evaluates a ranked query under the given methodology, returning the
+// top k answers merged across librarians. Safe for concurrent use.
+func (s *Session) Query(mode Mode, query string, k int, opts Options) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	e := &exec{fed: s.fed, pool: s.pool, policy: policyFor(opts)}
+	res := &Result{}
+	res.Trace.Mode = mode
+	var err error
+	switch mode {
+	case ModeCN:
+		err = e.queryCN(res, query, k, opts)
+	case ModeCV:
+		err = e.queryCV(res, query, k)
+	case ModeCI:
+		err = e.queryCI(res, query, k, opts)
+	default:
+		return nil, fmt.Errorf("core: receptionist cannot evaluate mode %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Fetch {
+		if err := e.fetchAnswers(res, opts.CompressedTransfer); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Boolean evaluates expr at every librarian and unions the result sets.
+// Safe for concurrent use.
+func (s *Session) Boolean(expr string) (*BooleanResult, error) {
+	e := &exec{fed: s.fed, pool: s.pool}
+	return e.boolean(expr)
+}
+
+// Federation returns the shared federation state this session queries.
+func (s *Session) Federation() *Federation { return s.fed }
+
+// exec is the execution context of a single query (or setup exchange): the
+// shared federation state, the pool to lease connections from, and the
+// fault-tolerance policy for this call only. It lives on one goroutine's
+// stack per query, which is what makes concurrent queries race-free —
+// nothing per-query is ever written to shared structures.
+type exec struct {
+	fed    *Federation
+	pool   *Pool
+	policy callPolicy
+}
+
+// callParallel sends one request to each named librarian concurrently and
+// waits for every outcome, appending per-attempt Call records to trace. A
+// librarian whose exchange fails is retried per the policy (redial, capped
+// exponential backoff); one that exhausts its attempts is recorded in
+// trace.Failures. Whether a failure fails the whole call depends on the
+// policy: without AllowPartial the first failure is returned as an error
+// (an ErrorReply surfaces as a *protocol.RemoteError); with it, the
+// surviving replies are returned and trace.Degraded is set, provided at
+// least MinLibrarians answered the rank phase.
+func (e *exec) callParallel(trace *Trace, phase Phase, names []string, makeReq func(name string) protocol.Message) (map[string]protocol.Message, error) {
+	type outcome struct {
+		name  string
+		calls []Call
+		reply protocol.Message
+		fail  *Failure
+	}
+	results := make(chan outcome, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		if _, ok := e.fed.byName[name]; !ok {
+			return nil, fmt.Errorf("core: unknown librarian %q", name)
+		}
+		req := makeReq(name)
+		wg.Add(1)
+		go func(name string, req protocol.Message) {
+			defer wg.Done()
+			calls, reply, fail := e.callLibrarian(name, phase, req)
+			results <- outcome{name: name, calls: calls, reply: reply, fail: fail}
+		}(name, req)
+	}
+	wg.Wait()
+	close(results)
+
+	replies := make(map[string]protocol.Message, len(names))
+	var failures []Failure
+	for out := range results {
+		trace.Calls = append(trace.Calls, out.calls...)
+		if out.fail != nil {
+			failures = append(failures, *out.fail)
+			continue
+		}
+		replies[out.name] = out.reply
+	}
+	// Keep trace ordering deterministic for tests and cost accounting; the
+	// stable sort preserves attempt order within a (phase, librarian) pair.
+	sort.SliceStable(trace.Calls, func(i, j int) bool {
+		if trace.Calls[i].Phase != trace.Calls[j].Phase {
+			return trace.Calls[i].Phase < trace.Calls[j].Phase
+		}
+		return trace.Calls[i].Librarian < trace.Calls[j].Librarian
+	})
+	if len(failures) == 0 {
+		return replies, nil
+	}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Librarian < failures[j].Librarian })
+	trace.Failures = append(trace.Failures, failures...)
+	if !e.policy.allowPartial {
+		f := failures[0]
+		return nil, fmt.Errorf("core: librarian %q: %w", f.Librarian, f.Err)
+	}
+	trace.Degraded = true
+	if phase == PhaseRank {
+		min := e.policy.minLibrarians
+		if min < 1 {
+			min = 1
+		}
+		if len(replies) < min {
+			return nil, fmt.Errorf("core: only %d of %d librarians answered, need %d",
+				len(replies), len(names), min)
+		}
+	}
+	return replies, nil
+}
+
+// callLibrarian leases a connection to the named librarian and drives it
+// through a request/response exchange under the policy: on a retryable
+// error it marks the lease dirty, waits the capped exponential backoff,
+// redials and re-sends, up to policy.retries extra attempts. It returns
+// every attempt's Call record plus either the reply or the Failure that
+// exhausted the attempts. The lease is always released; a dirty or
+// half-used stream is discarded by the pool rather than reused.
+func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]Call, protocol.Message, *Failure) {
+	pc, err := e.pool.lease(name)
+	if err != nil {
+		return nil, nil, &Failure{Librarian: name, Phase: phase, Attempts: 1, Err: err}
+	}
+	defer e.pool.Release(pc)
+	maxAttempts := e.policy.retries + 1
+	var calls []Call
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if attempt > 1 {
+			if d := backoffDelay(e.policy.backoff, attempt-1); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err := pc.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		call, reply, err := e.exchange(pc, phase, req)
+		calls = append(calls, call)
+		if err == nil {
+			return calls, reply, nil
+		}
+		lastErr = err
+		if dirtiesConn(err) {
+			pc.MarkDirty()
+		}
+		if !retryableError(err) {
+			return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt, Err: err}
+		}
+	}
+	return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: maxAttempts, Err: lastErr}
+}
+
+// exchange performs one request/response round trip on the leased
+// connection, recording traffic and librarian statistics in the Call.
+func (e *exec) exchange(pc *PooledConn, phase Phase, req protocol.Message) (Call, protocol.Message, error) {
+	call := Call{Librarian: pc.name, Phase: phase, ReqType: req.Type()}
+	conn := pc.conn
+	if e.policy.timeout > 0 {
+		// Deadline errors surface from the read/write below; a fresh
+		// deadline applies to every attempt, and is cleared before the
+		// connection can return to the idle list.
+		_ = conn.SetDeadline(time.Now().Add(e.policy.timeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	}
+	wrote, err := protocol.WriteMessage(conn, req)
+	call.ReqBytes = wrote
+	if err != nil {
+		return call, nil, err
+	}
+	reply, read, err := protocol.ReadMessage(conn)
+	call.RespBytes = read
+	if err != nil {
+		return call, nil, err
+	}
+	switch m := reply.(type) {
+	case *protocol.ErrorReply:
+		return call, nil, &protocol.RemoteError{Message: m.Message}
+	case *protocol.RankReply:
+		call.LibStats = m.Stats
+	case *protocol.BooleanReply:
+		call.LibStats = m.Stats
+	case *protocol.FetchReply:
+		call.DocsFetched = len(m.Docs)
+		for _, d := range m.Docs {
+			call.DocBytes += len(d.Data)
+		}
+	}
+	return call, reply, nil
+}
+
+// fetchAnswers runs the document-retrieval phase for res.Answers in place.
+func (e *exec) fetchAnswers(res *Result, compressed bool) error {
+	// Group requested docs by librarian; requests are sent in one block per
+	// librarian, per the paper's "documents should be bundled into blocks"
+	// finding.
+	byLib := make(map[string][]uint32)
+	for _, a := range res.Answers {
+		byLib[a.Librarian] = append(byLib[a.Librarian], a.LocalDoc)
+	}
+	names := make([]string, 0, len(byLib))
+	for name, docs := range byLib {
+		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+		byLib[name] = docs
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+	replies, err := e.callParallel(&res.Trace, PhaseFetch, names, func(name string) protocol.Message {
+		return &protocol.FetchDocs{Docs: byLib[name], Compressed: compressed}
+	})
+	if err != nil {
+		return err
+	}
+	texts := make(map[string]protocol.DocBlob)
+	for name, reply := range replies {
+		fr, ok := reply.(*protocol.FetchReply)
+		if !ok {
+			return fmt.Errorf("core: librarian %q answered FetchDocs with %v", name, reply.Type())
+		}
+		for _, blob := range fr.Docs {
+			texts[fmt.Sprintf("%s:%d", name, blob.Doc)] = blob
+		}
+	}
+	for i := range res.Answers {
+		a := &res.Answers[i]
+		blob, ok := texts[a.Key()]
+		if !ok {
+			if _, answered := replies[a.Librarian]; !answered {
+				// The librarian failed its fetch exchange and the policy
+				// allowed a partial result (recorded in Trace.Failures);
+				// the answer keeps its rank and score, without text.
+				continue
+			}
+			return fmt.Errorf("core: librarian %q did not return doc %d", a.Librarian, a.LocalDoc)
+		}
+		a.Title = blob.Title
+		if blob.Compressed {
+			model := e.fed.modelFor(a.Librarian)
+			if model == nil {
+				return fmt.Errorf("core: compressed transfer from %q but SetupModels has not run", a.Librarian)
+			}
+			text, err := model.DecompressDoc(blob.Data)
+			if err != nil {
+				return fmt.Errorf("core: decompress %s: %w", a.Key(), err)
+			}
+			a.Text = text
+		} else {
+			a.Text = string(blob.Data)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package teraphim
+
+// BenchmarkPoolThroughput measures concurrent query serving over one shared
+// federation: N client goroutines fan out over a Pool whose vocabulary (and,
+// for CI, central index) was set up once. Run
+//
+//	go test -bench=PoolThroughput -run='^$'
+//
+// Besides the usual ns/op, each sub-benchmark reports queries/sec, and the
+// sweep writes a machine-readable summary to BENCH_pool.json (see
+// EXPERIMENTS.md for a recorded table).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"teraphim/internal/librarian"
+	"teraphim/internal/trecsynth"
+)
+
+var (
+	poolBenchOnce    sync.Once
+	poolBenchDialer  *InProcessDialer
+	poolBenchNames   []string
+	poolBenchQueries []string
+	poolBenchErr     error
+)
+
+// poolBenchSetup builds three librarians from a reduced synthetic corpus and
+// wires them behind an in-process dialer, once for the whole sweep.
+func poolBenchSetup(b *testing.B) {
+	b.Helper()
+	poolBenchOnce.Do(func() {
+		cfg := trecsynth.DefaultConfig()
+		cfg.Subs = []trecsynth.SubSpec{
+			{Name: "AP", NumDocs: 250},
+			{Name: "FR", NumDocs: 200},
+			{Name: "WSJ", NumDocs: 250},
+		}
+		cfg.VocabSize = 3000
+		cfg.NumTopics = 20
+		cfg.NumLongQueries = 8
+		cfg.NumShortQueries = 24
+		corpus, err := trecsynth.Generate(cfg)
+		if err != nil {
+			poolBenchErr = err
+			return
+		}
+		var libs []*Librarian
+		for _, sub := range corpus.Subcollections {
+			lib, err := librarian.Build(sub.Name, sub.Docs, librarian.BuildOptions{})
+			if err != nil {
+				poolBenchErr = err
+				return
+			}
+			libs = append(libs, lib)
+			poolBenchNames = append(poolBenchNames, sub.Name)
+		}
+		// Shape the links with a sub-millisecond one-way delay so the
+		// workload is network-bound, like the paper's LAN/WAN settings:
+		// throughput then scales with clients by overlapping waits,
+		// which a CPU-bound in-process loop could not show on one core.
+		poolBenchDialer = NewInProcessDialer(libs, LinkConfig{Latency: 500 * time.Microsecond})
+		for _, q := range corpus.QueriesOf(trecsynth.ShortQuery) {
+			poolBenchQueries = append(poolBenchQueries, q.Text)
+		}
+	})
+	if poolBenchErr != nil {
+		b.Fatal(poolBenchErr)
+	}
+}
+
+// poolBenchRow is one sweep cell of BENCH_pool.json.
+type poolBenchRow struct {
+	Mode       string  `json:"mode"`
+	Clients    int     `json:"clients"`
+	Queries    int     `json:"queries"`
+	Seconds    float64 `json:"seconds"`
+	QueriesSec float64 `json:"queries_per_sec"`
+}
+
+func BenchmarkPoolThroughput(b *testing.B) {
+	poolBenchSetup(b)
+	specs := []struct {
+		label string
+		mode  Mode
+	}{
+		{"CN", ModeCN},
+		{"CV", ModeCV},
+		{"CI", ModeCI},
+	}
+	// b.Run invokes each sub-benchmark several times with growing b.N;
+	// keying by name keeps only the final (longest, most stable) run.
+	rows := make(map[string]poolBenchRow)
+	for _, spec := range specs {
+		for _, clients := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("%s/clients=%d", spec.label, clients)
+			b.Run(name, func(b *testing.B) {
+				pool, err := ConnectPool(poolBenchDialer, poolBenchNames,
+					ReceptionistConfig{MaxConnsPerLibrarian: clients})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pool.Close()
+				if spec.mode != ModeCN {
+					if _, err := pool.SetupVocabulary(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if spec.mode == ModeCI {
+					if _, err := pool.SetupCentralIndexRemote(10); err != nil {
+						b.Fatal(err)
+					}
+				}
+				work := make(chan int)
+				errs := make(chan error, clients)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sess := pool.Session()
+						for i := range work {
+							q := poolBenchQueries[i%len(poolBenchQueries)]
+							if _, err := sess.Query(spec.mode, q, 20, Options{}); err != nil {
+								errs <- err
+								return
+							}
+						}
+						errs <- nil
+					}()
+				}
+				for i := 0; i < b.N; i++ {
+					work <- i
+				}
+				close(work)
+				wg.Wait()
+				b.StopTimer()
+				close(errs)
+				for err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				secs := b.Elapsed().Seconds()
+				var qps float64
+				if secs > 0 {
+					qps = float64(b.N) / secs
+				}
+				b.ReportMetric(qps, "queries/sec")
+				rows[name] = poolBenchRow{
+					Mode: spec.label, Clients: clients,
+					Queries: b.N, Seconds: secs, QueriesSec: qps,
+				}
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := make([]poolBenchRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mode != out[j].Mode {
+			return out[i].Mode < out[j].Mode
+		}
+		return out[i].Clients < out[j].Clients
+	})
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pool.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_pool.json (%d rows)", len(out))
+}

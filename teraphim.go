@@ -59,6 +59,15 @@ type (
 	Receptionist = core.Receptionist
 	// ReceptionistConfig configures ConnectReceptionist.
 	ReceptionistConfig = core.Config
+	// Federation is the shared, immutable-after-setup state of a
+	// distributed collection: global numbering, merged vocabulary,
+	// decompression models and the CI central index.
+	Federation = core.Federation
+	// Pool is a bounded per-librarian connection pool over one Federation;
+	// it is safe for concurrent use by many sessions.
+	Pool = core.Pool
+	// Session is a lightweight per-client query handle over a Pool.
+	Session = core.Session
 	// Mode selects a distributed methodology (CN, CV, CI or MS).
 	Mode = core.Mode
 	// Options tunes one query evaluation.
@@ -201,6 +210,13 @@ func NewInProcessDialer(libs []*Librarian, cfg LinkConfig) *InProcessDialer {
 // document numbering) and performs the initial Hello exchange.
 func ConnectReceptionist(dialer Dialer, names []string, cfg ReceptionistConfig) (*Receptionist, error) {
 	return core.Connect(dialer, names, cfg)
+}
+
+// ConnectPool dials the named librarians and returns a connection pool
+// whose Federation is shared by every Session: run the Setup* exchanges
+// once, then fan out concurrent clients over Pool.Query or Pool.Session.
+func ConnectPool(dialer Dialer, names []string, cfg ReceptionistConfig) (*Pool, error) {
+	return core.NewPool(dialer, names, cfg)
 }
 
 // BuildGroupedIndex builds the CI methodology's central grouped index from
