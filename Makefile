@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench-pool verify
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool verify
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,16 @@ fuzz-smoke:
 bench-pool:
 	$(GO) test -run='^$$' -bench=PoolThroughput .
 
-verify: vet build race fuzz-smoke
+# Full search-kernel sweep with allocation reporting; regenerates the
+# "current" section of BENCH_search.json (the "baseline" section records
+# the pre-kernel evaluator and is preserved).
+bench:
+	KERNEL_BENCH_SECTION=current $(GO) test -run='^$$' -bench=SearchKernel -benchmem .
+
+# Short form for verify: exercises every sweep cell without rewriting
+# BENCH_search.json (the writer is gated on KERNEL_BENCH_SECTION).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=SearchKernel -benchmem -benchtime=0.05s .
+
+verify: vet build race fuzz-smoke bench-smoke
 	@echo "verify: OK"

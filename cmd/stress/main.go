@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -54,6 +56,8 @@ func run(w io.Writer, args []string) error {
 	backoff := fs.Duration("backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt")
 	partial := fs.Bool("partial", false, "answer from surviving librarians when some fail")
 	minLibs := fs.Int("minlibs", 0, "with -partial, minimum surviving librarians per query (implies -partial)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the query run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,9 +112,31 @@ func run(w io.Writer, args []string) error {
 		AllowPartial:       *partial,
 		MinLibrarians:      *minLibs,
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	report, err := drive(dialer, names, qmode, queries, *clients, maxConns, *n, *k, *group, opts)
 	if err != nil {
 		return err
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
 	}
 	fmt.Fprintf(w, "%d queries, %d clients, mode %s\n", report.completed, *clients, strings.ToUpper(*mode))
 	fmt.Fprintf(w, "setup           %10d round trips, once for all clients\n", report.setupTrips)

@@ -90,6 +90,15 @@ func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
 }
 
+// Reset repoints the Reader at data from bit 0, discarding any consumed
+// state. It lets callers that hold a Reader by value re-use it across many
+// inputs without allocating.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.cur, r.ncur = 0, 0
+}
+
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (uint, error) {
 	if r.ncur == 0 {

@@ -43,6 +43,32 @@ func EncodePostings(w *bitio.Writer, postings []Posting, numDocs uint32) error {
 	return nil
 }
 
+// DecodePostingsInto is the allocation-free fast path used by block-decoding
+// cursors: it decodes exactly count postings from r into dst[:count], given
+// the list's Golomb divisor b and the document id preceding the block
+// (prevDoc, -1 at the start of a list — gap coding is continuous across
+// blocks, so a decoder that seeks to a skip point resumes with the skip
+// entry's last document). It returns the last document id decoded so the
+// caller can chain blocks. dst must have room for count postings; no bounds
+// validation is performed beyond the bitstream itself, callers wanting the
+// checked path use DecodePostings.
+func DecodePostingsInto(dst []Posting, r *bitio.Reader, count int, b uint64, prevDoc int64) (int64, error) {
+	doc := prevDoc
+	for i := 0; i < count; i++ {
+		gap, err := Golomb(r, b)
+		if err != nil {
+			return doc, fmt.Errorf("codec: posting %d gap: %w", i, err)
+		}
+		fdt, err := Gamma(r)
+		if err != nil {
+			return doc, fmt.Errorf("codec: posting %d f_dt: %w", i, err)
+		}
+		doc += int64(gap)
+		dst[i] = Posting{Doc: uint32(doc), FDT: uint32(fdt)}
+	}
+	return doc, nil
+}
+
 // DecodePostings reads count postings previously written by EncodePostings
 // with the same numDocs, appending them to dst and returning it.
 func DecodePostings(dst []Posting, r *bitio.Reader, count int, numDocs uint32) ([]Posting, error) {

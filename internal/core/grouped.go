@@ -201,7 +201,15 @@ func (g *GroupedIndex) SizeBytes() uint64 { return g.engine.Index().SizeBytes() 
 // RankGroups returns the k' best groups for the query, using the grouped
 // index's own statistics, together with the index work performed.
 func (g *GroupedIndex) RankGroups(query string, kPrime int) ([]uint32, search.Stats, error) {
-	results, stats, err := g.engine.Rank(query, kPrime, nil)
+	s := search.GetScratch()
+	defer s.Release()
+	return g.RankGroupsWith(s, query, kPrime)
+}
+
+// RankGroupsWith is RankGroups on a caller-owned search.Scratch, letting the
+// CI query path reuse one set of kernel accumulators across queries.
+func (g *GroupedIndex) RankGroupsWith(s *search.Scratch, query string, kPrime int) ([]uint32, search.Stats, error) {
+	results, stats, err := g.engine.RankWith(s, query, kPrime, nil)
 	if err != nil {
 		return nil, stats, fmt.Errorf("core: rank groups: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"teraphim/internal/protocol"
+	"teraphim/internal/search"
 )
 
 // queryCN implements Central Nothing: every librarian ranks with its own
@@ -80,7 +81,9 @@ func (e *exec) queryCI(res *Result, query string, k int, opts Options) error {
 	if kPrime <= 0 {
 		kPrime = DefaultKPrime
 	}
-	groups, centralStats, err := central.RankGroups(query, kPrime)
+	scratch := search.GetScratch()
+	groups, centralStats, err := central.RankGroupsWith(scratch, query, kPrime)
+	scratch.Release()
 	if err != nil {
 		return err
 	}

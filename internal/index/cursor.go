@@ -8,71 +8,172 @@ import (
 	"teraphim/internal/codec"
 )
 
+// fallbackBlock is the decode-block size for lists without skip structures
+// (skip interval 0, the skipping ablation).
+const fallbackBlock = 64
+
 // TermCursor iterates the postings of one term in increasing document
 // order. Next reads sequentially; Advance uses the skip structure to jump
 // forward, decoding only the block containing the target — the "skipping"
 // optimisation whose effect the paper estimates at 2x for small k'.
+//
+// Postings are decoded a skip-block at a time into an internal buffer via
+// codec.DecodePostingsInto, so the per-posting cost is an array read rather
+// than a bit-level decode call. The buffer (and the cursor itself, through
+// Index.ResetCursor) is reusable across terms and queries, which is what
+// keeps the scoring kernel allocation-free in steady state.
 type TermCursor struct {
 	entry   *termEntry
-	r       *bitio.Reader
+	r       bitio.Reader
 	golombB uint64
-	pos     uint32 // postings consumed so far
-	prevDoc int64
-	cur     Posting
-	valid   bool
 	skipIvl uint32
 
-	// DecodedPostings counts postings actually decoded, including those
-	// skipped over sequentially but excluding those bypassed via skip
-	// pointers; it feeds the CPU cost model.
+	pos   uint32 // postings consumed so far (next posting index to deliver)
+	cur   Posting
+	valid bool
+
+	// Decode-ahead block: buf[0:bufLen] holds postings bufStart..bufStart+
+	// bufLen-1 of the list; streamPrev is the document id preceding the next
+	// block in the bitstream. Invariant: bufStart <= pos <= bufStart+bufLen.
+	buf        []Posting
+	bufStart   uint32
+	bufLen     uint32
+	streamPrev int64
+
+	// DecodedPostings counts postings consumed, including those scanned over
+	// sequentially but excluding those bypassed via skip pointers or block
+	// fast-forwards; it feeds the CPU cost model and is unchanged from the
+	// pre-block-decode accounting.
 	DecodedPostings uint64
 }
 
 // Cursor returns a cursor over the postings of term.
 func (ix *Index) Cursor(term string) (*TermCursor, error) {
+	c := &TermCursor{}
+	if err := ix.ResetCursor(c, term); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ResetCursor re-initialises c over the postings of term, retaining its
+// decode buffer. It is the allocation-free path the scoring kernel uses to
+// walk many lists with one pooled cursor.
+func (ix *Index) ResetCursor(c *TermCursor, term string) error {
 	i, ok := ix.byTerm[term]
 	if !ok {
-		return nil, fmt.Errorf("index: %w: %q", ErrTermNotFound, term)
+		return fmt.Errorf("index: %w: %q", ErrTermNotFound, term)
 	}
 	e := &ix.entries[i]
-	return &TermCursor{
-		entry:   e,
-		r:       bitio.NewReader(e.postings),
-		golombB: codec.GolombParameter(uint64(ix.numDocs), uint64(e.ft)),
-		prevDoc: -1,
-		skipIvl: ix.skipIvl,
-	}, nil
+	c.entry = e
+	c.r.Reset(e.postings)
+	c.golombB = codec.GolombParameter(uint64(ix.numDocs), uint64(e.ft))
+	c.skipIvl = ix.skipIvl
+	c.pos = 0
+	c.cur = Posting{}
+	c.valid = false
+	c.bufStart, c.bufLen = 0, 0
+	c.streamPrev = -1
+	c.DecodedPostings = 0
+	return nil
 }
 
 // FT returns f_t for the cursor's term.
 func (c *TermCursor) FT() uint32 { return c.entry.ft }
 
+// blockSize is the number of postings decoded per fill: the skip interval,
+// so that seeks always land on buffer boundaries, or a fixed block when the
+// index carries no skip structure.
+func (c *TermCursor) blockSize() uint32 {
+	if c.skipIvl > 0 {
+		return c.skipIvl
+	}
+	return fallbackBlock
+}
+
+// fill decodes the next block of postings into the buffer. It returns false
+// at the end of the list or on a corrupt bitstream (which, as before, simply
+// terminates the list).
+func (c *TermCursor) fill() bool {
+	start := c.bufStart + c.bufLen
+	if start >= c.entry.ft {
+		return false
+	}
+	n := c.entry.ft - start
+	if bs := c.blockSize(); n > bs {
+		n = bs
+	}
+	if uint32(cap(c.buf)) < n {
+		c.buf = make([]Posting, c.blockSize())
+	}
+	last, err := codec.DecodePostingsInto(c.buf[:n], &c.r, int(n), c.golombB, c.streamPrev)
+	c.bufStart = start
+	if err != nil {
+		c.bufLen = 0
+		return false
+	}
+	c.bufLen = n
+	c.streamPrev = last
+	return true
+}
+
 // Next advances to the next posting, returning false at the end of the list.
+// Past the buffered block it decodes one posting at a time: Next is the
+// skip-based access path (Advance), where decoding a whole block to deliver
+// one or two postings would waste the very work skipping saves. Full-list
+// scans use NextBlock instead.
 func (c *TermCursor) Next() bool {
+	if c.pos < c.bufStart+c.bufLen {
+		c.cur = c.buf[c.pos-c.bufStart]
+		c.pos++
+		c.valid = true
+		c.DecodedPostings++
+		return true
+	}
 	if c.pos >= c.entry.ft {
 		c.valid = false
 		return false
 	}
-	gap, err := codec.Golomb(c.r, c.golombB)
+	gap, err := codec.Golomb(&c.r, c.golombB)
 	if err != nil {
 		c.valid = false
 		return false
 	}
-	fdt, err := codec.Gamma(c.r)
+	fdt, err := codec.Gamma(&c.r)
 	if err != nil {
 		c.valid = false
 		return false
 	}
-	c.prevDoc += int64(gap)
-	c.cur = Posting{Doc: uint32(c.prevDoc), FDT: uint32(fdt)}
+	c.streamPrev += int64(gap)
+	c.cur = Posting{Doc: uint32(c.streamPrev), FDT: uint32(fdt)}
 	c.pos++
+	c.bufStart, c.bufLen = c.pos, 0
 	c.valid = true
 	c.DecodedPostings++
 	return true
 }
 
+// NextBlock returns the next run of consecutive postings, or nil at the end
+// of the list. It is the bulk path for full-list scans: one call per decode
+// block instead of one per posting. Every returned posting counts as
+// consumed. The slice is valid only until the next cursor call.
+func (c *TermCursor) NextBlock() []Posting {
+	if c.pos >= c.bufStart+c.bufLen {
+		if !c.fill() {
+			c.valid = false
+			return nil
+		}
+	}
+	blk := c.buf[c.pos-c.bufStart : c.bufLen]
+	c.pos = c.bufStart + c.bufLen
+	c.DecodedPostings += uint64(len(blk))
+	c.cur = blk[len(blk)-1]
+	c.valid = true
+	return blk
+}
+
 // Posting returns the current posting; valid only after Next or Advance
-// returned true.
+// returned true (after NextBlock it is the last posting of the block).
 func (c *TermCursor) Posting() Posting { return c.cur }
 
 // Advance positions the cursor at the first posting with Doc >= target,
@@ -86,22 +187,29 @@ func (c *TermCursor) Advance(target uint32) bool {
 	// below the target, if it is ahead of our position.
 	if n := len(c.entry.skipDocs); n > 0 {
 		// block b covers postings [(b)*ivl, (b+1)*ivl); skipDocs[i] is the
-		// doc before block i+1 begins.
+		// doc before block i+1 begins, and skip entry j points at block j+1.
 		i := sort.Search(n, func(i int) bool { return c.entry.skipDocs[i] >= target })
-		// Block i+1 is the first that could contain the target... blocks
-		// before it end with docs < target. Jump to block i (0-based skip
-		// entry i-1... careful): skip entry j points at block j+1.
 		if i > 0 {
 			j := i - 1 // last skip entry with skipDocs[j] < target
 			blockFirstPos := uint32(j+1) * c.skipIvl
 			if blockFirstPos > c.pos {
-				if err := c.r.SeekBit(int(c.entry.skipBits[j])); err != nil {
+				if blockFirstPos < c.bufStart+c.bufLen {
+					// Target block already sits in the decode buffer:
+					// fast-forward without touching the bitstream. Skipped
+					// postings are not charged to DecodedPostings, exactly
+					// as a bitstream seek would not have decoded them.
+					c.pos = blockFirstPos
 					c.valid = false
-					return false
+				} else {
+					if err := c.r.SeekBit(int(c.entry.skipBits[j])); err != nil {
+						c.valid = false
+						return false
+					}
+					c.pos = blockFirstPos
+					c.bufStart, c.bufLen = blockFirstPos, 0
+					c.streamPrev = int64(c.entry.skipDocs[j])
+					c.valid = false
 				}
-				c.pos = blockFirstPos
-				c.prevDoc = int64(c.entry.skipDocs[j])
-				c.valid = false
 			}
 		}
 	}
@@ -119,8 +227,12 @@ func (c *TermCursor) Decode(dst []Posting) ([]Posting, error) {
 	if c.pos != 0 {
 		return dst, fmt.Errorf("index: Decode on a consumed cursor")
 	}
-	for c.Next() {
-		dst = append(dst, c.cur)
+	for {
+		blk := c.NextBlock()
+		if blk == nil {
+			break
+		}
+		dst = append(dst, blk...)
 	}
 	if c.pos != c.entry.ft {
 		return dst, fmt.Errorf("index: decoded %d of %d postings", c.pos, c.entry.ft)

@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"teraphim/internal/bitio"
 	"teraphim/internal/codec"
@@ -27,6 +28,11 @@ type FreqSorted struct {
 	numDocs uint32
 	bytes   uint64
 	maxFDT  map[string]uint32
+
+	// invW mirrors Index.InvDocWeights: lazily built 1/W_d table for the
+	// pruned evaluator's array-scan normalisation.
+	invOnce sync.Once
+	invW    []float64
 }
 
 type fsEntry struct {
@@ -143,10 +149,28 @@ func (fs *FreqSorted) DocWeight(doc uint32) (float64, error) {
 	return float64(fs.weights[doc]), nil
 }
 
+// InvDocWeights returns the cached reciprocal document-weight table:
+// entry d is 1/W_d, or 0 when W_d is 0. The slice is shared and must not be
+// modified.
+func (fs *FreqSorted) InvDocWeights() []float64 {
+	fs.invOnce.Do(func() {
+		inv := make([]float64, len(fs.weights))
+		for d, w := range fs.weights {
+			if w != 0 {
+				inv[d] = 1 / float64(w)
+			}
+		}
+		fs.invW = inv
+	})
+	return fs.invW
+}
+
 // FreqCursor iterates one frequency-sorted list run by run, in decreasing
-// f_dt order.
+// f_dt order. Cursors are reusable across terms via ResetCursor, retaining
+// their run buffer, so the pruned evaluator walks every list of a query
+// with one pooled cursor.
 type FreqCursor struct {
-	r        *bitio.Reader
+	r        bitio.Reader
 	numDocs  uint32
 	runsLeft uint64
 	prevF    uint32
@@ -159,16 +183,31 @@ type FreqCursor struct {
 
 // Cursor opens a frequency-sorted cursor for term.
 func (fs *FreqSorted) Cursor(term string) (*FreqCursor, error) {
-	e, ok := fs.entries[term]
-	if !ok {
-		return nil, fmt.Errorf("index: %w: %q", ErrTermNotFound, term)
-	}
-	r := bitio.NewReader(e.data)
-	nruns, err := codec.Gamma(r)
-	if err != nil {
+	c := &FreqCursor{}
+	if err := fs.ResetCursor(c, term); err != nil {
 		return nil, err
 	}
-	return &FreqCursor{r: r, numDocs: fs.numDocs, runsLeft: nruns - 1, prevF: fs.maxFDT[term] + 1}, nil
+	return c, nil
+}
+
+// ResetCursor re-initialises c over term's list, retaining its run buffer.
+func (fs *FreqSorted) ResetCursor(c *FreqCursor, term string) error {
+	e, ok := fs.entries[term]
+	if !ok {
+		return fmt.Errorf("index: %w: %q", ErrTermNotFound, term)
+	}
+	c.r.Reset(e.data)
+	nruns, err := codec.Gamma(&c.r)
+	if err != nil {
+		return err
+	}
+	c.numDocs = fs.numDocs
+	c.runsLeft = nruns - 1
+	c.prevF = fs.maxFDT[term] + 1
+	c.fdt = 0
+	c.docs = c.docs[:0]
+	c.decoded = 0
+	return nil
 }
 
 // NextRun decodes the next run, returning its f_dt and documents; ok is
@@ -179,14 +218,14 @@ func (c *FreqCursor) NextRun() (fdt uint32, docs []uint32, ok bool) {
 		return 0, nil, false
 	}
 	c.runsLeft--
-	gap, err := codec.Gamma(c.r)
+	gap, err := codec.Gamma(&c.r)
 	if err != nil {
 		c.runsLeft = 0
 		return 0, nil, false
 	}
 	c.fdt = c.prevF - uint32(gap)
 	c.prevF = c.fdt
-	n, err := codec.Gamma(c.r)
+	n, err := codec.Gamma(&c.r)
 	if err != nil {
 		c.runsLeft = 0
 		return 0, nil, false
@@ -195,7 +234,7 @@ func (c *FreqCursor) NextRun() (fdt uint32, docs []uint32, ok bool) {
 	c.docs = c.docs[:0]
 	prevDoc := int64(-1)
 	for i := uint64(0); i < n; i++ {
-		g, err := codec.Golomb(c.r, b)
+		g, err := codec.Golomb(&c.r, b)
 		if err != nil {
 			c.runsLeft = 0
 			return 0, nil, false

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"teraphim/internal/bitio"
 	"teraphim/internal/codec"
@@ -51,6 +52,13 @@ type Index struct {
 	numPtrs  uint64 // total postings count
 	skipIvl  uint32
 	postings uint64 // total compressed postings bytes
+
+	// invW caches 1/W_d (0 where W_d is 0), built lazily: the scoring
+	// kernel's normalisation pass is then a pure array scan with no
+	// error-returning DocWeight calls. Safe because the index is immutable
+	// once constructed.
+	invOnce sync.Once
+	invW    []float64
 }
 
 // Builder accumulates documents and produces an Index.
@@ -192,6 +200,22 @@ func (ix *Index) DocWeight(doc uint32) (float64, error) {
 	return float64(ix.weights[doc]), nil
 }
 
+// InvDocWeights returns the cached reciprocal document-weight table:
+// entry d is 1/W_d, or 0 when W_d is 0 (a document that cannot score).
+// The slice is shared and must not be modified.
+func (ix *Index) InvDocWeights() []float64 {
+	ix.invOnce.Do(func() {
+		inv := make([]float64, len(ix.weights))
+		for d, w := range ix.weights {
+			if w != 0 {
+				inv[d] = 1 / float64(w)
+			}
+		}
+		ix.invW = inv
+	})
+	return ix.invW
+}
+
 // DocLen returns the number of term occurrences indexed for a document.
 func (ix *Index) DocLen(doc uint32) (uint32, error) {
 	if doc >= ix.numDocs {
@@ -223,6 +247,16 @@ func (ix *Index) Terms(fn func(term string, ft uint32) bool) {
 // quantity the paper reports for the CI methodology), excluding the
 // dictionary.
 func (ix *Index) SizeBytes() uint64 { return ix.postings }
+
+// ListBytes reports the exact compressed size in bytes of one term's
+// postings list (0 when the term is absent). It feeds Stats.IndexBytesRead
+// exactly, replacing the earlier pro-rata approximation over SizeBytes.
+func (ix *Index) ListBytes(term string) uint64 {
+	if i, ok := ix.byTerm[term]; ok {
+		return uint64(len(ix.entries[i].postings))
+	}
+	return 0
+}
 
 // DictSizeBytes approximates the dictionary ("vocabulary") size: the
 // quantity a CV receptionist must store per collection.

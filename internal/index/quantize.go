@@ -35,7 +35,18 @@ func (ix *Index) QuantizeWeights() (*Index, error) {
 			hi = v
 		}
 	}
-	out := *ix
+	// Copy field by field rather than by struct assignment: the reciprocal
+	// weight cache (and its sync.Once) must start fresh, since the quantized
+	// copy has different weights.
+	out := Index{
+		entries:  ix.entries,
+		byTerm:   ix.byTerm,
+		lens:     ix.lens,
+		numDocs:  ix.numDocs,
+		numPtrs:  ix.numPtrs,
+		skipIvl:  ix.skipIvl,
+		postings: ix.postings,
+	}
 	out.weights = make([]float32, len(ix.weights))
 	if math.IsInf(lo, 1) {
 		// No non-empty documents; nothing to do.

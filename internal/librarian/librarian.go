@@ -98,8 +98,12 @@ func (l *Librarian) Store() *store.Store { return l.docs }
 
 // ServeConn answers protocol messages on conn until EOF or an unrecoverable
 // transport error. Protocol-level errors are reported to the peer as
-// ErrorReply messages and the session continues.
+// ErrorReply messages and the session continues. Each session borrows one
+// search.Scratch for its lifetime, so consecutive queries on a connection
+// reuse the scoring kernel's accumulators instead of reallocating them.
 func (l *Librarian) ServeConn(conn io.ReadWriter) error {
+	scratch := search.GetScratch()
+	defer scratch.Release()
 	for {
 		msg, _, err := protocol.ReadMessage(conn)
 		if err != nil {
@@ -108,24 +112,25 @@ func (l *Librarian) ServeConn(conn io.ReadWriter) error {
 			}
 			return fmt.Errorf("librarian %q: %w", l.name, err)
 		}
-		reply := l.handle(msg)
+		reply := l.handle(scratch, msg)
 		if _, err := protocol.WriteMessage(conn, reply); err != nil {
 			return fmt.Errorf("librarian %q: %w", l.name, err)
 		}
 	}
 }
 
-// handle dispatches one request to the engine/store.
-func (l *Librarian) handle(msg protocol.Message) protocol.Message {
+// handle dispatches one request to the engine/store. scratch is the
+// session's reusable evaluation state.
+func (l *Librarian) handle(scratch *search.Scratch, msg protocol.Message) protocol.Message {
 	switch m := msg.(type) {
 	case *protocol.Hello:
 		return l.hello()
 	case *protocol.VocabRequest:
 		return l.vocab()
 	case *protocol.RankQuery:
-		return l.rank(m)
+		return l.rank(scratch, m)
 	case *protocol.ScoreDocs:
-		return l.score(m)
+		return l.score(scratch, m)
 	case *protocol.FetchDocs:
 		return l.fetch(m)
 	case *protocol.ModelRequest:
@@ -161,8 +166,8 @@ func (l *Librarian) vocab() protocol.Message {
 	return reply
 }
 
-func (l *Librarian) rank(m *protocol.RankQuery) protocol.Message {
-	results, stats, err := l.engine.Rank(m.Query, int(m.K), m.Weights)
+func (l *Librarian) rank(scratch *search.Scratch, m *protocol.RankQuery) protocol.Message {
+	results, stats, err := l.engine.RankWith(scratch, m.Query, int(m.K), m.Weights)
 	if err != nil {
 		if errors.Is(err, search.ErrEmptyQuery) {
 			return &protocol.RankReply{Stats: stats}
@@ -172,8 +177,8 @@ func (l *Librarian) rank(m *protocol.RankQuery) protocol.Message {
 	return rankReply(results, stats)
 }
 
-func (l *Librarian) score(m *protocol.ScoreDocs) protocol.Message {
-	results, stats, err := l.engine.ScoreDocs(m.Query, m.Docs, m.Weights)
+func (l *Librarian) score(scratch *search.Scratch, m *protocol.ScoreDocs) protocol.Message {
+	results, stats, err := l.engine.ScoreDocsWith(scratch, m.Query, m.Docs, m.Weights)
 	if err != nil {
 		if errors.Is(err, search.ErrEmptyQuery) {
 			return &protocol.RankReply{Stats: stats}

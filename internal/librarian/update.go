@@ -97,8 +97,11 @@ func (u *UpdatableLibrarian) Append(newDocs []store.Document) error {
 }
 
 // ServeConn answers protocol messages until EOF, dispatching each request
-// against the snapshot current when it arrives.
+// against the snapshot current when it arrives. Like Librarian.ServeConn,
+// the session holds one pooled evaluation scratch for its lifetime.
 func (u *UpdatableLibrarian) ServeConn(conn io.ReadWriter) error {
+	scratch := search.GetScratch()
+	defer scratch.Release()
 	for {
 		msg, _, err := protocol.ReadMessage(conn)
 		if err != nil {
@@ -107,7 +110,7 @@ func (u *UpdatableLibrarian) ServeConn(conn io.ReadWriter) error {
 			}
 			return fmt.Errorf("librarian %q: %w", u.name, err)
 		}
-		reply := u.Current().handle(msg)
+		reply := u.Current().handle(scratch, msg)
 		if _, err := protocol.WriteMessage(conn, reply); err != nil {
 			return fmt.Errorf("librarian %q: %w", u.name, err)
 		}

@@ -177,8 +177,14 @@ func (n *termNode) eval(e *Engine, stats *Stats) []uint32 {
 	}
 	stats.ListsFetched++
 	docs := make([]uint32, 0, cur.FT())
-	for cur.Next() {
-		docs = append(docs, cur.Posting().Doc)
+	for {
+		blk := cur.NextBlock()
+		if blk == nil {
+			break
+		}
+		for _, p := range blk {
+			docs = append(docs, p.Doc)
+		}
 	}
 	stats.PostingsDecoded += cur.DecodedPostings
 	return docs

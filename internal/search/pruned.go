@@ -1,11 +1,9 @@
 package search
 
 import (
-	"container/heap"
-	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"teraphim/internal/index"
 	"teraphim/internal/textproc"
@@ -46,111 +44,118 @@ type Thresholds struct {
 }
 
 // Rank evaluates a thresholded ranked query, returning the top k documents.
+// Scratch state comes from the shared pool; use RankWith to supply your own.
 func (e *PrunedEngine) Rank(query string, k int, th Thresholds) ([]Result, Stats, error) {
+	s := GetScratch()
+	defer s.Release()
+	return e.RankWith(s, query, k, th)
+}
+
+// RankWith is Rank running on a caller-owned Scratch: the same flat
+// epoch-stamped accumulators, memoised log weights, and non-boxing top-k
+// selector as the document-sorted kernel, driving the run-decoded cursor.
+func (e *PrunedEngine) RankWith(s *Scratch, query string, k int, th Thresholds) ([]Result, Stats, error) {
 	var stats Stats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("search: k must be positive, got %d", k)
 	}
-	terms := e.analyzer.Terms(nil, query)
-	freqs := make(map[string]uint32, len(terms))
-	for _, t := range terms {
-		freqs[t]++
-	}
-	if len(freqs) == 0 {
+	parseQueryInto(s, e.analyzer, query)
+	if len(s.qterms) == 0 {
 		return nil, stats, ErrEmptyQuery
 	}
-	stats.TermsLooked = len(freqs)
+	stats.TermsLooked = len(s.qterms)
 
-	// Global query weights from the frequency-sorted index's statistics.
+	// Global query weights from the frequency-sorted index's statistics;
+	// contribCap is the largest possible contribution of each term's list.
 	n := float64(e.fs.NumDocs())
-	type queryTerm struct {
-		term string
-		wqt  float64
-		cap  float64 // largest possible contribution from this list
-	}
-	var qts []queryTerm
 	var wq2 float64
-	for t, fqt := range freqs {
-		ft := e.fs.TermFreq(t)
+	matched := 0
+	for i := range s.qterms {
+		qt := &s.qterms[i]
+		ft := e.fs.TermFreq(qt.term)
 		if ft == 0 {
+			qt.wqt, qt.contribCap = 0, 0
 			continue
 		}
-		wqt := math.Log(float64(fqt)+1) * math.Log(n/float64(ft)+1)
-		wq2 += wqt * wqt
-		qts = append(qts, queryTerm{
-			term: t,
-			wqt:  wqt,
-			cap:  wqt * math.Log(float64(e.fs.MaxFDT(t))+1),
-		})
+		matched++
+		qt.wqt = logF1(qt.fqt) * math.Log(n/float64(ft)+1)
+		wq2 += qt.wqt * qt.wqt
+		qt.contribCap = qt.wqt * logF1(e.fs.MaxFDT(qt.term))
 	}
-	if len(qts) == 0 {
+	if matched == 0 {
 		return nil, stats, nil
 	}
 	// Process terms in decreasing contribution capacity, as Persin et al.
 	// prescribe, so accumulators are created by the most promising lists.
-	sort.Slice(qts, func(i, j int) bool { return qts[i].cap > qts[j].cap })
-	cMax := qts[0].cap
+	slices.SortFunc(s.qterms, func(a, b queryTerm) int {
+		switch {
+		case a.contribCap > b.contribCap:
+			return -1
+		case a.contribCap < b.contribCap:
+			return 1
+		default:
+			return 0
+		}
+	})
+	cMax := s.qterms[0].contribCap
 
-	acc := make(map[uint32]float64, 1024)
-	for _, qt := range qts {
-		cur, err := e.fs.Cursor(qt.term)
-		if err != nil {
+	numDocs := e.fs.NumDocs()
+	s.reset(numDocs)
+	for i := range s.qterms {
+		qt := &s.qterms[i]
+		if qt.wqt <= 0 {
+			continue
+		}
+		if err := e.fs.ResetCursor(&s.fcur, qt.term); err != nil {
 			continue
 		}
 		stats.ListsFetched++
 		for {
-			fdt, docs, ok := cur.NextRun()
+			fdt, docs, ok := s.fcur.NextRun()
 			if !ok {
 				break
 			}
-			contrib := qt.wqt * math.Log(float64(fdt)+1)
+			contrib := qt.wqt * logF1(fdt)
 			if contrib < th.Add*cMax {
 				// Runs only get smaller from here: abandon the list.
 				break
 			}
-			createAllowed := contrib >= th.Insert*cMax
-			for _, d := range docs {
-				if cur, exists := acc[d]; exists {
-					acc[d] = cur + contrib
-				} else if createAllowed {
-					acc[d] = contrib
+			if contrib >= th.Insert*cMax {
+				for _, d := range docs {
+					if d >= numDocs {
+						continue
+					}
+					s.add(d, contrib)
+				}
+			} else {
+				for _, d := range docs {
+					if d >= numDocs {
+						continue
+					}
+					s.addExisting(d, contrib)
 				}
 			}
 		}
-		stats.PostingsDecoded += cur.Decoded()
+		stats.PostingsDecoded += s.fcur.Decoded()
 	}
-	stats.CandidateDocs = len(acc)
+	stats.CandidateDocs = len(s.touched)
 
 	wq := math.Sqrt(wq2)
 	if wq == 0 {
 		wq = 1
 	}
-	h := make(resultHeap, 0, k)
-	for doc, s := range acc {
-		wd, err := e.fs.DocWeight(doc)
-		if err != nil {
-			return nil, stats, err
-		}
-		if wd == 0 {
+	inv := e.fs.InvDocWeights()
+	sel := NewTopK(k, lessResult, s.heap)
+	for _, d := range s.touched {
+		iw := inv[d]
+		if iw == 0 {
 			continue
 		}
-		r := Result{Doc: doc, Score: s / (wq * wd)}
-		if len(h) < k {
-			heap.Push(&h, r)
-			continue
-		}
-		if lessResult(h[0], r) {
-			h[0] = r
-			heap.Fix(&h, 0)
-		}
+		sel.Offer(Result{Doc: d, Score: s.acc[d] * iw / wq})
 	}
-	out := make([]Result, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		r, ok := heap.Pop(&h).(Result)
-		if !ok {
-			return nil, stats, errors.New("search: heap corrupted")
-		}
-		out[i] = r
-	}
+	ranked := sel.Extract()
+	out := make([]Result, len(ranked))
+	copy(out, ranked)
+	s.heap = ranked[:0]
 	return out, stats, nil
 }

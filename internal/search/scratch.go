@@ -1,0 +1,128 @@
+package search
+
+import (
+	"math"
+	"sync"
+
+	"teraphim/internal/index"
+)
+
+// logTableSize bounds the memoised log(f+1) table. Within-document and
+// within-query frequencies are small integers (MG truncates term buffers and
+// documents are finite), so in practice every lookup hits the table; larger
+// frequencies fall back to math.Log and remain bit-identical.
+const logTableSize = 1024
+
+var logTable = func() [logTableSize]float64 {
+	var t [logTableSize]float64
+	for i := range t {
+		t[i] = math.Log(float64(i) + 1)
+	}
+	return t
+}()
+
+// logF1 returns log(f+1), memoised for small f. The table entries are the
+// very values math.Log would produce, so memoisation never changes a score.
+func logF1(f uint32) float64 {
+	if f < logTableSize {
+		return logTable[f]
+	}
+	return math.Log(float64(f) + 1)
+}
+
+// queryTerm is one unique query term with its frequency and resolved weight.
+// contribCap (pruned evaluation only) is the largest contribution any
+// posting of the term's list can make.
+type queryTerm struct {
+	term       string
+	fqt        uint32
+	wqt        float64
+	contribCap float64
+}
+
+// Scratch holds the reusable per-query state of the ranked-evaluation
+// kernel: flat epoch-stamped accumulators sized to the collection, decode
+// and tokenizer buffers, a pooled term cursor, and top-k heap backing. One
+// Scratch serves one query at a time; recycle it through GetScratch/Release
+// (a sync.Pool, safe under the connection Pool's concurrent sessions — each
+// Get hands out exclusive ownership) or own one per session.
+//
+// The accumulator array replaces the per-query map the seed evaluator
+// allocated: clearing between queries is a single epoch increment, and the
+// touched list recovers the candidate set without scanning the collection.
+type Scratch struct {
+	acc     []float64 // accumulator per document; live iff stamp matches
+	stamp   []uint32  // epoch stamp per document
+	epoch   uint32
+	touched []uint32 // documents with a live accumulator, first-touch order
+
+	raw    []string // tokenizer buffer
+	terms  []string // analysed-terms buffer
+	qterms []queryTerm
+
+	heap   []Result // top-k selector backing
+	docbuf []uint32 // ScoreDocs sorted-target buffer
+
+	cur  index.TermCursor // reusable block-decoding cursor
+	fcur index.FreqCursor // reusable frequency-sorted cursor (pruned engine)
+}
+
+// NewScratch returns an empty Scratch; its buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch borrows a Scratch from the shared pool. The caller owns it
+// exclusively until Release.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the Scratch to the shared pool. The Scratch must not be
+// used afterwards, and no slice written into it may escape (Rank and
+// ScoreDocs copy results out for exactly that reason).
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+// reset prepares the accumulators for a query over numDocs documents:
+// ensure capacity, invalidate every entry by bumping the epoch, and clear
+// the touched list.
+func (s *Scratch) reset(numDocs uint32) {
+	if uint32(len(s.acc)) < numDocs {
+		s.acc = make([]float64, numDocs)
+		s.stamp = make([]uint32, numDocs)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // epoch wrapped: stamps from 2^32 queries ago collide
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
+}
+
+// add accumulates w into doc's accumulator, creating it if this is the
+// first contribution of the query.
+func (s *Scratch) add(doc uint32, w float64) {
+	if s.stamp[doc] == s.epoch {
+		s.acc[doc] += w
+		return
+	}
+	s.stamp[doc] = s.epoch
+	s.acc[doc] = w
+	s.touched = append(s.touched, doc)
+}
+
+// addExisting accumulates w only into an accumulator some earlier
+// contribution created — the insert-thresholded mode of the pruned
+// evaluator.
+func (s *Scratch) addExisting(doc uint32, w float64) {
+	if s.stamp[doc] == s.epoch {
+		s.acc[doc] += w
+	}
+}
+
+// get returns doc's accumulated value, or 0 when untouched this query.
+func (s *Scratch) get(doc uint32) float64 {
+	if s.stamp[doc] == s.epoch {
+		return s.acc[doc]
+	}
+	return 0
+}

@@ -11,14 +11,20 @@
 // The collection-dependent part, log(N/f_t+1), lives entirely in the query
 // weight. Callers may therefore substitute externally supplied weights
 // (the Central Vocabulary methodology) without touching document weights.
+//
+// Evaluation runs on a zero-steady-state-allocation kernel: a pooled Scratch
+// holds flat epoch-stamped accumulators sized to the collection, postings
+// arrive a decode block at a time through a reusable cursor, w_dt comes from
+// a memoised log table, and normalisation reads the index's cached
+// reciprocal-weight array. Rank and ScoreDocs borrow a Scratch from the
+// shared pool; RankWith and ScoreDocsWith accept a caller-owned one.
 package search
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"teraphim/internal/index"
 	"teraphim/internal/textproc"
@@ -80,6 +86,24 @@ func (e *Engine) ParseQuery(query string) map[string]uint32 {
 	return freqs
 }
 
+// parseQueryInto analyses query into s.qterms (term + f_qt, in order of first
+// appearance), reusing the scratch's tokenizer buffers. Query vocabularies
+// are tiny, so duplicate detection is a linear scan rather than a map.
+func parseQueryInto(s *Scratch, a *textproc.Analyzer, query string) {
+	s.terms, s.raw = a.TermsScratch(s.terms[:0], s.raw, query)
+	s.qterms = s.qterms[:0]
+outer:
+	for _, t := range s.terms {
+		for i := range s.qterms {
+			if s.qterms[i].term == t {
+				s.qterms[i].fqt++
+				continue outer
+			}
+		}
+		s.qterms = append(s.qterms, queryTerm{term: t, fqt: 1})
+	}
+}
+
 // LocalWeight returns this collection's w_{q,t} for a term with query
 // frequency fqt: log(f_qt+1)·log(N/f_t+1). It returns 0 when the term is
 // absent from the collection.
@@ -89,7 +113,7 @@ func (e *Engine) LocalWeight(term string, fqt uint32) float64 {
 		return 0
 	}
 	n := float64(e.ix.NumDocs())
-	return math.Log(float64(fqt)+1) * math.Log(n/float64(ft)+1)
+	return logF1(fqt) * math.Log(n/float64(ft)+1)
 }
 
 // QueryWeights computes the local w_{q,t} map for an analysed query.
@@ -116,50 +140,86 @@ func queryNorm(weights map[string]float64) float64 {
 	return math.Sqrt(sum)
 }
 
+// resolveWeights fills the wqt of every parsed query term and returns W_q.
+// With weights nil each term gets this collection's local weight (MS/CN);
+// otherwise weights is authoritative (CV) and terms absent from it stay at
+// weight 0. Either way W_q is summed in query-appearance order, never map
+// order: every evaluator of the same query — the mono server and each CV
+// librarian — must produce the bitwise-same norm, or ULP-level wobble
+// reorders tied documents across collections.
+func (e *Engine) resolveWeights(s *Scratch, weights map[string]float64) float64 {
+	var sum float64
+	for i := range s.qterms {
+		var w float64
+		if weights != nil {
+			w = weights[s.qterms[i].term]
+		} else {
+			w = e.LocalWeight(s.qterms[i].term, s.qterms[i].fqt)
+		}
+		s.qterms[i].wqt = w
+		sum += w * w
+	}
+	if sum == 0 {
+		return 1
+	}
+	return math.Sqrt(sum)
+}
+
 // Rank evaluates a ranked query and returns the top k documents in
 // decreasing score order. If weights is nil the engine derives local
 // weights (MS and CN behaviour); otherwise the supplied global weights are
 // used verbatim (CV behaviour) and terms absent from weights are skipped.
+// Scratch state comes from the shared pool; use RankWith to supply your own.
 func (e *Engine) Rank(query string, k int, weights map[string]float64) ([]Result, Stats, error) {
+	s := GetScratch()
+	defer s.Release()
+	return e.RankWith(s, query, k, weights)
+}
+
+// RankWith is Rank running on a caller-owned Scratch. In steady state the
+// only allocation left is the returned result slice.
+func (e *Engine) RankWith(s *Scratch, query string, k int, weights map[string]float64) ([]Result, Stats, error) {
 	var stats Stats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("search: k must be positive, got %d", k)
 	}
-	freqs := e.ParseQuery(query)
-	if len(freqs) == 0 {
+	parseQueryInto(s, e.analyzer, query)
+	if len(s.qterms) == 0 {
 		return nil, stats, ErrEmptyQuery
 	}
-	if weights == nil {
-		weights = e.QueryWeights(freqs)
-	}
-	stats.TermsLooked = len(freqs)
+	wq := e.resolveWeights(s, weights)
+	stats.TermsLooked = len(s.qterms)
 
-	acc := make(map[uint32]float64, 256)
-	for term := range freqs {
-		wqt := weights[term]
-		if wqt <= 0 {
+	numDocs := e.ix.NumDocs()
+	s.reset(numDocs)
+	for i := range s.qterms {
+		qt := &s.qterms[i]
+		if qt.wqt <= 0 {
 			continue
 		}
-		cur, err := e.ix.Cursor(term)
-		if err != nil {
+		if err := e.ix.ResetCursor(&s.cur, qt.term); err != nil {
 			// Term in the weight map but not this collection: skip.
 			continue
 		}
 		stats.ListsFetched++
-		stats.IndexBytesRead += e.listBytes(term)
-		for cur.Next() {
-			p := cur.Posting()
-			acc[p.Doc] += wqt * math.Log(float64(p.FDT)+1)
+		stats.IndexBytesRead += e.ix.ListBytes(qt.term)
+		for {
+			blk := s.cur.NextBlock()
+			if blk == nil {
+				break
+			}
+			for _, p := range blk {
+				if p.Doc >= numDocs {
+					continue // corrupt list; flat accumulators cannot hold it
+				}
+				s.add(p.Doc, qt.wqt*logF1(p.FDT))
+			}
 		}
-		stats.PostingsDecoded += cur.DecodedPostings
+		stats.PostingsDecoded += s.cur.DecodedPostings
 	}
-	stats.CandidateDocs = len(acc)
+	stats.CandidateDocs = len(s.touched)
 
-	wq := queryNorm(weights)
-	results, err := e.topK(acc, k, wq)
-	if err != nil {
-		return nil, stats, err
-	}
+	results := e.topK(s, k, wq)
 	return results, stats, nil
 }
 
@@ -169,101 +229,82 @@ func (e *Engine) Rank(query string, k int, weights map[string]float64) ([]Result
 // list is decoded. Results are returned for every requested doc (score 0 if
 // no query term matches), in the order requested.
 func (e *Engine) ScoreDocs(query string, docs []uint32, weights map[string]float64) ([]Result, Stats, error) {
+	s := GetScratch()
+	defer s.Release()
+	return e.ScoreDocsWith(s, query, docs, weights)
+}
+
+// ScoreDocsWith is ScoreDocs running on a caller-owned Scratch.
+func (e *Engine) ScoreDocsWith(s *Scratch, query string, docs []uint32, weights map[string]float64) ([]Result, Stats, error) {
 	var stats Stats
-	freqs := e.ParseQuery(query)
-	if len(freqs) == 0 {
+	parseQueryInto(s, e.analyzer, query)
+	if len(s.qterms) == 0 {
 		return nil, stats, ErrEmptyQuery
 	}
-	if weights == nil {
-		weights = e.QueryWeights(freqs)
-	}
-	stats.TermsLooked = len(freqs)
+	wq := e.resolveWeights(s, weights)
+	stats.TermsLooked = len(s.qterms)
 
-	sorted := append([]uint32(nil), docs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	acc := make(map[uint32]float64, len(docs))
+	s.docbuf = append(s.docbuf[:0], docs...)
+	slices.Sort(s.docbuf)
+	numDocs := e.ix.NumDocs()
+	s.reset(numDocs)
 
-	for term := range freqs {
-		wqt := weights[term]
-		if wqt <= 0 {
+	for i := range s.qterms {
+		qt := &s.qterms[i]
+		if qt.wqt <= 0 {
 			continue
 		}
-		cur, err := e.ix.Cursor(term)
-		if err != nil {
+		if err := e.ix.ResetCursor(&s.cur, qt.term); err != nil {
 			continue
 		}
 		stats.ListsFetched++
-		stats.IndexBytesRead += e.listBytes(term)
-		for _, d := range sorted {
-			if !cur.Advance(d) {
+		stats.IndexBytesRead += e.ix.ListBytes(qt.term)
+		for _, d := range s.docbuf {
+			if !s.cur.Advance(d) {
 				break
 			}
-			if p := cur.Posting(); p.Doc == d {
-				acc[d] += wqt * math.Log(float64(p.FDT)+1)
+			if p := s.cur.Posting(); p.Doc == d {
+				s.add(d, qt.wqt*logF1(p.FDT))
 			}
 		}
-		stats.PostingsDecoded += cur.DecodedPostings
+		stats.PostingsDecoded += s.cur.DecodedPostings
 	}
-	stats.CandidateDocs = len(acc)
+	stats.CandidateDocs = len(s.touched)
 
-	wq := queryNorm(weights)
+	inv := e.ix.InvDocWeights()
 	out := make([]Result, len(docs))
 	for i, d := range docs {
-		wd, err := e.ix.DocWeight(d)
-		if err != nil {
+		if d >= numDocs {
+			_, err := e.ix.DocWeight(d) // canonical out-of-range error
 			return nil, stats, fmt.Errorf("search: score doc %d: %w", d, err)
 		}
 		score := 0.0
-		if s := acc[d]; s > 0 && wd > 0 {
-			score = s / (wq * wd)
+		if a := s.get(d); a > 0 && inv[d] > 0 {
+			score = a * inv[d] / wq
 		}
 		out[i] = Result{Doc: d, Score: score}
 	}
 	return out, stats, nil
 }
 
-func (e *Engine) listBytes(term string) uint64 {
-	// Approximate per-list compressed size: total postings bytes scaled by
-	// the list's share of pointers. Exact sizes are private to the index;
-	// the approximation is only used for cost accounting.
-	ft := e.ix.TermFreq(term)
-	if ft == 0 || e.ix.NumPostings() == 0 {
-		return 0
-	}
-	return e.ix.SizeBytes() * uint64(ft) / e.ix.NumPostings()
-}
-
-// topK normalises accumulator values by W_q·W_d and selects the k highest
-// scoring documents via a bounded min-heap, ties broken by ascending doc id.
-func (e *Engine) topK(acc map[uint32]float64, k int, wq float64) ([]Result, error) {
-	h := make(resultHeap, 0, k)
-	for doc, s := range acc {
-		wd, err := e.ix.DocWeight(doc)
-		if err != nil {
-			return nil, fmt.Errorf("search: weight for doc %d: %w", doc, err)
-		}
-		if wd == 0 {
+// topK normalises the touched accumulators by W_q·W_d and selects the k
+// highest scoring documents, ties broken by ascending doc id. The selector
+// runs on the scratch's heap backing; only the returned slice is allocated.
+func (e *Engine) topK(s *Scratch, k int, wq float64) []Result {
+	inv := e.ix.InvDocWeights()
+	sel := NewTopK(k, lessResult, s.heap)
+	for _, d := range s.touched {
+		iw := inv[d]
+		if iw == 0 {
 			continue
 		}
-		r := Result{Doc: doc, Score: s / (wq * wd)}
-		if len(h) < k {
-			heap.Push(&h, r)
-			continue
-		}
-		if lessResult(h[0], r) {
-			h[0] = r
-			heap.Fix(&h, 0)
-		}
+		sel.Offer(Result{Doc: d, Score: s.acc[d] * iw / wq})
 	}
-	out := make([]Result, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		r, ok := heap.Pop(&h).(Result)
-		if !ok {
-			return nil, errors.New("search: heap corrupted")
-		}
-		out[i] = r
-	}
-	return out, nil
+	ranked := sel.Extract()
+	out := make([]Result, len(ranked))
+	copy(out, ranked)
+	s.heap = ranked[:0]
+	return out
 }
 
 // lessResult orders results worst-first for the min-heap: lower score is
@@ -275,22 +316,17 @@ func lessResult(a, b Result) bool {
 	return a.Doc > b.Doc
 }
 
-type resultHeap []Result
-
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return lessResult(h[i], h[j]) }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // SortResults orders results by decreasing score, ties by ascending doc id.
 // Exposed for receptionist-side merging.
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool { return lessResult(rs[j], rs[i]) })
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case lessResult(b, a):
+			return -1
+		case lessResult(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
 }

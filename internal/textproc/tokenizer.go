@@ -119,7 +119,17 @@ func NewAnalyzer(opts ...Option) *Analyzer {
 
 // Terms analyses text and appends the resulting index terms to dst.
 func (a *Analyzer) Terms(dst []string, text string) []string {
-	raw := Tokenize(nil, text)
+	dst, _ = a.TermsScratch(dst, nil, text)
+	return dst
+}
+
+// TermsScratch is Terms with a caller-owned tokenizer buffer: raw tokens are
+// gathered into raw (reset and reused) and the analysed terms appended to
+// dst. Both slices are returned so callers can retain their grown capacity
+// across queries — the scoring kernel's steady state then tokenises without
+// allocating (lowercase ASCII tokens alias the input string).
+func (a *Analyzer) TermsScratch(dst, raw []string, text string) (terms, rawOut []string) {
+	raw = Tokenize(raw[:0], text)
 	for _, tok := range raw {
 		if a.stopwords != nil && a.stopwords[tok] {
 			continue
@@ -132,7 +142,7 @@ func (a *Analyzer) Terms(dst []string, text string) []string {
 		}
 		dst = append(dst, tok)
 	}
-	return dst
+	return dst, raw
 }
 
 // IsStopword reports whether the analyzer would discard term.
