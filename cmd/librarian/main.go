@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"teraphim/internal/librarian"
+	"teraphim/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("librarian", flag.ContinueOnError)
 	col := fs.String("col", "", "collection directory (required)")
 	listen := fs.String("listen", ":7001", "listen address")
+	obsAddr := fs.String("obs", "", "serve Prometheus /metrics and pprof on this address (e.g. :9091; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,6 +40,16 @@ func run(args []string) error {
 	lib, err := librarian.Load(*col)
 	if err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		lib.Instrument(reg)
+		osrv, err := obs.ListenAndServe(*obsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer osrv.Close()
+		fmt.Printf("metrics and pprof on http://%s/\n", osrv.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -82,7 +82,8 @@ func answer(w io.Writer, lib *librarian.Librarian, query string, k int, boolean,
 		}
 		return nil
 	}
-	results, stats, err := lib.Engine().Rank(query, k, nil)
+	ranking, err := lib.Engine().Rank(query, k, nil)
+	results, stats := ranking.Results, ranking.Stats
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"teraphim/internal/core"
+	"teraphim/internal/obs"
 	"teraphim/internal/simnet"
 	"teraphim/internal/textproc"
 )
@@ -47,6 +48,8 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	backoff := fs.Duration("backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt")
 	partial := fs.Bool("partial", false, "answer from surviving librarians when some fail")
 	minLibs := fs.Int("minlibs", 0, "with -partial, minimum surviving librarians per query (implies -partial)")
+	obsAddr := fs.String("obs", "", "serve Prometheus /metrics and pprof on this address (e.g. :9090; empty = off)")
+	slowQuery := fs.Duration("slowquery", 0, "log queries slower than this with a per-stage breakdown (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,11 +84,24 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	if *noStop {
 		analyzerOpts = append(analyzerOpts, textproc.WithoutStopwords())
 	}
-	recep, err := core.Connect(dialer, names, core.Config{Analyzer: textproc.NewAnalyzer(analyzerOpts...)})
+	reg := obs.NewRegistry()
+	recep, err := core.Connect(dialer, names, core.Config{
+		Analyzer:           textproc.NewAnalyzer(analyzerOpts...),
+		Metrics:            reg,
+		SlowQueryThreshold: *slowQuery,
+	})
 	if err != nil {
 		return err
 	}
 	defer recep.Close()
+	if *obsAddr != "" {
+		srv, err := obs.ListenAndServe(*obsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "metrics and pprof on http://%s/\n", srv.Addr())
+	}
 	fmt.Fprintf(w, "connected to %d librarians, %d documents total\n",
 		len(recep.Librarians()), recep.TotalDocs())
 

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"teraphim/internal/librarian"
 	"teraphim/internal/store"
@@ -72,6 +76,75 @@ func TestInteractiveBooleanSession(t *testing.T) {
 	if !strings.Contains(out, "news:1") {
 		t.Fatalf("expected news:1 (election AND networks):\n%s", out)
 	}
+}
+
+// TestObsEndpointServesQueryMetrics runs an interactive session with -obs
+// and scrapes /metrics while it is live: after one CV query the per-mode
+// counter must read 1 in Prometheus text format.
+func TestObsEndpointServesQueryMetrics(t *testing.T) {
+	libs := startFleet(t)
+	// Reserve a port for the obs endpoint so the test knows where to scrape.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsAddr := ln.Addr().String()
+	ln.Close()
+
+	stdinR, stdinW := io.Pipe()
+	scraped := make(chan error, 1)
+	go func() {
+		defer stdinW.Close()
+		if _, err := io.WriteString(stdinW, "election networks\n"); err != nil {
+			scraped <- err
+			return
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			body, err := scrapeOnce(obsAddr)
+			if err == nil && strings.Contains(body, `teraphim_queries_total{mode="CV"} 1`) {
+				if !strings.Contains(body, `teraphim_query_stage_seconds_count{stage="merge"} 1`) {
+					scraped <- fmt.Errorf("no stage histogram in scrape:\n%s", body)
+					return
+				}
+				scraped <- nil
+				return
+			}
+			if time.Now().After(deadline) {
+				scraped <- fmt.Errorf("query counter never reached 1 (last err %v):\n%s", err, body)
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	var buf bytes.Buffer
+	if err := run(&buf, stdinR, []string{"-libs", libs, "-mode", "cv", "-k", "5",
+		"-nostem", "-nostop", "-obs", obsAddr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-scraped; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "metrics and pprof on") {
+		t.Fatalf("no obs banner:\n%s", buf.String())
+	}
+}
+
+func scrapeOnce(addr string) (string, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return string(body), fmt.Errorf("content type %q", ct)
+	}
+	return string(body), nil
 }
 
 func TestReceptionistValidation(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"teraphim/internal/core"
+	"teraphim/internal/obs"
 	"teraphim/internal/simnet"
 )
 
@@ -58,6 +59,8 @@ func run(w io.Writer, args []string) error {
 	minLibs := fs.Int("minlibs", 0, "with -partial, minimum surviving librarians per query (implies -partial)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the query run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
+	obsAddr := fs.String("obs", "", "serve Prometheus /metrics and pprof during the run (e.g. :9090; empty = off)")
+	slowQuery := fs.Duration("slowquery", 0, "log queries slower than this with a per-stage breakdown (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,7 +126,17 @@ func run(w io.Writer, args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	report, err := drive(dialer, names, qmode, queries, *clients, maxConns, *n, *k, *group, opts)
+	reg := obs.NewRegistry()
+	if *obsAddr != "" {
+		srv, err := obs.ListenAndServe(*obsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "metrics and pprof on http://%s/ for the duration of the run\n", srv.Addr())
+	}
+	report, err := drive(dialer, names, qmode, queries, *clients, *n, *k, *group, opts,
+		core.Config{MaxConnsPerLibrarian: maxConns, Metrics: reg, SlowQueryThreshold: *slowQuery})
 	if err != nil {
 		return err
 	}
@@ -170,8 +183,8 @@ type report struct {
 // mode needs), then clients pull query indexes from a shared channel, each
 // as a lightweight session over the shared federation.
 func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []string,
-	clients, maxConns, n, k, group int, opts core.Options) (report, error) {
-	pool, err := core.NewPool(dialer, names, core.Config{MaxConnsPerLibrarian: maxConns})
+	clients, n, k, group int, opts core.Options, cfg core.Config) (report, error) {
+	pool, err := core.NewPool(dialer, names, cfg)
 	if err != nil {
 		return report{}, err
 	}

@@ -19,7 +19,8 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	results, _, err := lib.Engine().Rank("distributed collection hosts", 2, nil)
+	ranking, err := lib.Engine().Rank("distributed collection hosts", 2, nil)
+	results := ranking.Results
 	if err != nil {
 		log.Fatal(err)
 	}

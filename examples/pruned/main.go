@@ -56,7 +56,8 @@ func run() error {
 		{Insert: 0.30, Add: 0.20},
 		{Insert: 0.50, Add: 0.40},
 	} {
-		results, stats, err := pruned.Rank(query, 5, th)
+		ranking, err := pruned.Rank(query, 5, th)
+		results, stats := ranking.Results, ranking.Stats
 		if err != nil {
 			return err
 		}

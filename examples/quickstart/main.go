@@ -28,7 +28,8 @@ func main() {
 	}
 
 	// Ranked retrieval with the cosine measure.
-	results, stats, err := lib.Engine().Rank("distributed ranked retrieval over a network", 3, nil)
+	ranking, err := lib.Engine().Rank("distributed ranked retrieval over a network", 3, nil)
+	results, stats := ranking.Results, ranking.Stats
 	if err != nil {
 		log.Fatal(err)
 	}

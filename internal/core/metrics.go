@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"teraphim/internal/obs"
+	"teraphim/internal/search"
+)
+
+// modeInstruments is one methodology's counter set. Every series exists from
+// pool construction, so /metrics shows zeroed families before traffic and
+// the query path never registers (registration locks; recording does not).
+type modeInstruments struct {
+	queries  *obs.Counter
+	errors   *obs.Counter
+	retries  *obs.Counter
+	failures *obs.Counter
+	degraded *obs.Counter
+	duration *obs.Histogram
+}
+
+// Metrics is the observability surface of one Pool and the queries served
+// over it. All instruments aggregate the same quantities the per-query
+// Trace already records — the paper's CPU/disk/communication cost terms —
+// into fleet-wide counters a scrape can watch. Recording is lock-free
+// atomics; nothing here allocates after construction.
+type Metrics struct {
+	reg *obs.Registry
+
+	byMode map[Mode]*modeInstruments
+
+	stageAnalyze *obs.Histogram
+	stageShip    *obs.Histogram
+	stageWait    *obs.Histogram
+	stageMerge   *obs.Histogram
+
+	acquireWait   *obs.Histogram
+	connsInUse    *obs.Gauge
+	connsIdle     *obs.Gauge
+	dirtyDiscards *obs.Counter
+
+	// central accounts the receptionist-side index work (CI group ranking).
+	central *search.Metrics
+}
+
+// newMetrics registers the pool's instrument families on reg.
+func newMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{reg: reg, byMode: make(map[Mode]*modeInstruments, 3)}
+	for _, mode := range []Mode{ModeCN, ModeCV, ModeCI} {
+		labels := fmt.Sprintf("mode=%q", mode.String())
+		m.byMode[mode] = &modeInstruments{
+			queries: reg.Counter("teraphim_queries_total",
+				"Completed ranked queries by methodology.", labels),
+			errors: reg.Counter("teraphim_query_errors_total",
+				"Ranked queries that returned an error.", labels),
+			retries: reg.Counter("teraphim_query_retry_attempts_total",
+				"Librarian exchanges beyond each librarian's first attempt (Trace.RetryAttempts).", labels),
+			failures: reg.Counter("teraphim_query_librarian_failures_total",
+				"Librarians that exhausted every attempt of an exchange (Trace.Failures).", labels),
+			degraded: reg.Counter("teraphim_queries_degraded_total",
+				"Queries answered from a surviving subset of librarians.", labels),
+			duration: reg.Histogram("teraphim_query_seconds",
+				"End-to-end query latency by methodology.", labels, nil),
+		}
+	}
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("teraphim_query_stage_seconds",
+			"Per-stage query latency: analyze (central weighting/group ranking), ship (request write), wait (librarian evaluation + reply read), merge (central collation).",
+			fmt.Sprintf("stage=%q", name), nil)
+	}
+	m.stageAnalyze = stage("analyze")
+	m.stageShip = stage("ship")
+	m.stageWait = stage("wait")
+	m.stageMerge = stage("merge")
+
+	m.acquireWait = reg.Histogram("teraphim_pool_acquire_wait_seconds",
+		"Time a query spent blocked waiting for a per-librarian connection slot.", "", nil)
+	m.connsInUse = reg.Gauge("teraphim_pool_conns_in_use",
+		"Connections currently leased to in-flight exchanges.", "")
+	m.connsIdle = reg.Gauge("teraphim_pool_conns_idle",
+		"Connections parked on the idle lists, ready for reuse.", "")
+	m.dirtyDiscards = reg.Counter("teraphim_pool_dirty_discards_total",
+		"Connections discarded because their stream was interrupted mid-message.", "")
+
+	m.central = search.NewMetrics(reg, `component="central"`)
+	return m
+}
+
+// Registry returns the registry the instruments live on — mount it with
+// obs.Handler / obs.ListenAndServe to expose /metrics.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// observeQuery folds one completed (or failed) query into the counters and
+// stage histograms, and emits the slow-query line when the pool is
+// configured for one.
+func (p *Pool) observeQuery(mode Mode, query string, dur time.Duration, res *Result, err error) {
+	m := p.metrics
+	mi := m.byMode[mode]
+	if mi == nil {
+		return
+	}
+	t := &res.Trace
+	if err != nil {
+		mi.errors.Inc()
+	} else {
+		mi.queries.Inc()
+		mi.duration.ObserveDuration(dur)
+	}
+	mi.retries.Add(uint64(t.RetryAttempts()))
+	mi.failures.Add(uint64(len(t.Failures)))
+	if t.Degraded {
+		mi.degraded.Inc()
+	}
+	m.stageAnalyze.ObserveDuration(t.Stages.Analyze)
+	m.stageShip.ObserveDuration(t.Stages.Ship)
+	m.stageWait.ObserveDuration(t.Stages.Wait)
+	m.stageMerge.ObserveDuration(t.Stages.Merge)
+	m.central.Observe(t.CentralStats)
+
+	if p.slowThreshold > 0 && dur >= p.slowThreshold {
+		p.logSlowQuery(mode, query, dur, res, err)
+	}
+}
+
+// logSlowQuery emits one structured line with the per-stage breakdown. The
+// format is key=value so log pipelines can parse it without a schema.
+func (p *Pool) logSlowQuery(mode Mode, query string, dur time.Duration, res *Result, err error) {
+	t := &res.Trace
+	w := p.slowLog
+	fmt.Fprintf(w,
+		"teraphim slow-query mode=%s dur=%s analyze=%s ship=%s wait=%s merge=%s libs=%d retries=%d failures=%d degraded=%t err=%v query=%q\n",
+		mode, dur, t.Stages.Analyze, t.Stages.Ship, t.Stages.Wait, t.Stages.Merge,
+		t.LibrariansAsked, t.RetryAttempts(), len(t.Failures), t.Degraded, err, query)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"teraphim/internal/protocol"
 	"teraphim/internal/search"
@@ -33,6 +34,7 @@ func (e *exec) queryCN(res *Result, query string, k int, opts Options) error {
 // the query terms, and ships the weights with the query. Librarian scores
 // are then exactly the mono-server scores.
 func (e *exec) queryCV(res *Result, query string, k int) error {
+	analyzeStart := time.Now()
 	weights, err := e.fed.GlobalWeights(query)
 	if err != nil {
 		return err
@@ -51,6 +53,7 @@ func (e *exec) queryCV(res *Result, query string, k int) error {
 			}
 		}
 	}
+	res.Trace.Stages.Analyze += time.Since(analyzeStart)
 	res.Trace.LibrariansAsked = len(names)
 	if len(names) == 0 {
 		res.Answers = nil
@@ -73,6 +76,7 @@ func (e *exec) queryCI(res *Result, query string, k int, opts Options) error {
 	if central == nil {
 		return errors.New("core: SetupCentralIndex has not run")
 	}
+	analyzeStart := time.Now()
 	weights, err := e.fed.GlobalWeights(query)
 	if err != nil {
 		return err
@@ -106,6 +110,7 @@ func (e *exec) queryCI(res *Result, query string, k int, opts Options) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	res.Trace.Stages.Analyze += time.Since(analyzeStart)
 	res.Trace.LibrariansAsked = len(names)
 	if len(names) == 0 {
 		res.Answers = nil
@@ -129,6 +134,8 @@ func (e *exec) mergeRankings(res *Result, replies map[string]protocol.Message, k
 
 // mergeWith collates per-librarian rankings under a fusion strategy.
 func (e *exec) mergeWith(res *Result, replies map[string]protocol.Message, k int, strategy MergeStrategy) error {
+	mergeStart := time.Now()
+	defer func() { res.Trace.Stages.Merge += time.Since(mergeStart) }()
 	lists := make(map[string][]Answer, len(replies))
 	total := 0
 	for name, reply := range replies {

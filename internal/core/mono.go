@@ -41,13 +41,14 @@ func (m *MonoServer) Engine() *search.Engine { return m.engine }
 // Query evaluates the query locally. The trace contains only central
 // statistics (no network calls).
 func (m *MonoServer) Query(query string, k int, opts Options) (*Result, error) {
-	results, stats, err := m.engine.Rank(query, k, nil)
+	ranking, err := m.engine.Rank(query, k, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: mono-server rank: %w", err)
 	}
+	results := ranking.Results
 	res := &Result{}
 	res.Trace.Mode = ModeMS
-	res.Trace.CentralStats = stats
+	res.Trace.CentralStats = ranking.Stats
 	res.Trace.MergeCandidates = len(results)
 	res.Answers = make([]Answer, 0, len(results))
 	for _, sr := range results {

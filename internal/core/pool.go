@@ -2,13 +2,18 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"teraphim/internal/huffman"
 	"teraphim/internal/index"
+	"teraphim/internal/obs"
 	"teraphim/internal/protocol"
 	"teraphim/internal/simnet"
 	"teraphim/internal/textproc"
@@ -43,6 +48,13 @@ type Pool struct {
 	// done is closed by Close so blocked Acquires fail fast.
 	done chan struct{}
 
+	// metrics is never nil: a pool without a configured registry gets a
+	// private one, so instrumentation code needs no nil checks and metrics
+	// are available retroactively via Metrics().
+	metrics       *Metrics
+	slowThreshold time.Duration
+	slowLog       io.Writer
+
 	mu     sync.Mutex
 	closed bool
 	idle   map[string][]net.Conn
@@ -66,18 +78,29 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 	if max <= 0 {
 		max = DefaultMaxConnsPerLibrarian
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	slowLog := cfg.SlowQueryLog
+	if slowLog == nil {
+		slowLog = os.Stderr
+	}
 	fed := &Federation{
 		analyzer: analyzer,
 		byName:   make(map[string]*libMeta, len(names)),
 	}
 	p := &Pool{
-		fed:    fed,
-		dialer: dialer,
-		max:    max,
-		slots:  make(map[string]chan struct{}, len(names)),
-		done:   make(chan struct{}),
-		idle:   make(map[string][]net.Conn, len(names)),
-		leased: make(map[net.Conn]string),
+		fed:           fed,
+		dialer:        dialer,
+		max:           max,
+		slots:         make(map[string]chan struct{}, len(names)),
+		done:          make(chan struct{}),
+		metrics:       newMetrics(reg),
+		slowThreshold: cfg.SlowQueryThreshold,
+		slowLog:       slowLog,
+		idle:          make(map[string][]net.Conn, len(names)),
+		leased:        make(map[net.Conn]string),
 	}
 	for _, name := range names {
 		if _, dup := fed.byName[name]; dup {
@@ -92,7 +115,7 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 	// Hello exchange: one call per librarian, zero policy (setup is never
 	// partial — see DESIGN.md). The libMeta writes below happen before the
 	// Pool escapes to any other goroutine.
-	e := &exec{fed: fed, pool: p}
+	e := &exec{ctx: context.Background(), fed: fed, pool: p}
 	var trace Trace
 	replies, err := e.callParallel(&trace, PhaseSetup, names, func(string) protocol.Message {
 		return &protocol.Hello{}
@@ -130,6 +153,16 @@ func (p *Pool) Session() *Session { return &Session{fed: p.fed, pool: p} }
 func (p *Pool) Query(mode Mode, query string, k int, opts Options) (*Result, error) {
 	return p.Session().Query(mode, query, k, opts)
 }
+
+// QueryContext is Query under a context; see Session.QueryContext.
+func (p *Pool) QueryContext(ctx context.Context, mode Mode, query string, k int, opts Options) (*Result, error) {
+	return p.Session().QueryContext(ctx, mode, query, k, opts)
+}
+
+// Metrics returns the pool's observability surface. It is always non-nil:
+// when Config.Metrics was not set the instruments live on a private
+// registry reachable through Metrics().Registry().
+func (p *Pool) Metrics() *Metrics { return p.metrics }
 
 // Boolean leases a session for a single Boolean query.
 func (p *Pool) Boolean(expr string) (*BooleanResult, error) {
@@ -174,6 +207,7 @@ func (pc *PooledConn) ensure() error {
 		_ = pc.conn.Close()
 		pc.conn = nil
 		pc.dirty = false
+		p.metrics.dirtyDiscards.Inc()
 	}
 	conn, err := p.dialer.Dial(pc.name)
 	if err != nil {
@@ -191,19 +225,26 @@ func (pc *PooledConn) ensure() error {
 	return nil
 }
 
-// lease takes a per-librarian slot and, if one is idle, an existing
+// leaseCtx takes a per-librarian slot and, if one is idle, an existing
 // connection — without dialing. The exchange loop dials lazily via ensure
-// so that dial failures participate in the retry/backoff policy.
-func (p *Pool) lease(name string) (*PooledConn, error) {
+// so that dial failures participate in the retry/backoff policy. The slot
+// wait — the queueing delay when all MaxConnsPerLibrarian leases are out —
+// is observed into the acquire-wait histogram and aborts if ctx is
+// cancelled first.
+func (p *Pool) leaseCtx(ctx context.Context, name string) (*PooledConn, error) {
 	slot, ok := p.slots[name]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown librarian %q", name)
 	}
+	start := time.Now()
 	select {
 	case slot <- struct{}{}:
 	case <-p.done:
 		return nil, ErrPoolClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
+	p.metrics.acquireWait.ObserveDuration(time.Since(start))
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -215,9 +256,15 @@ func (p *Pool) lease(name string) (*PooledConn, error) {
 		pc.conn = list[len(list)-1]
 		p.idle[name] = list[:len(list)-1]
 		p.leased[pc.conn] = name
+		p.metrics.connsIdle.Dec()
 	}
 	p.mu.Unlock()
+	p.metrics.connsInUse.Inc()
 	return pc, nil
+}
+
+func (p *Pool) lease(name string) (*PooledConn, error) {
+	return p.leaseCtx(context.Background(), name)
 }
 
 // Acquire leases a ready connection to the named librarian, blocking while
@@ -249,12 +296,17 @@ func (p *Pool) Release(pc *PooledConn) {
 		delete(p.leased, pc.conn)
 		if pc.dirty || p.closed {
 			_ = pc.conn.Close()
+			if pc.dirty {
+				p.metrics.dirtyDiscards.Inc()
+			}
 		} else {
 			p.idle[pc.name] = append(p.idle[pc.name], pc.conn)
+			p.metrics.connsIdle.Inc()
 		}
 		pc.conn = nil
 	}
 	p.mu.Unlock()
+	p.metrics.connsInUse.Dec()
 	// Free the slot last, so a waiter that gets it observes the idle list
 	// already updated.
 	<-p.slots[pc.name]
@@ -278,6 +330,7 @@ func (p *Pool) Close() error {
 		conns = append(conns, list...)
 	}
 	p.idle = make(map[string][]net.Conn)
+	p.metrics.connsIdle.Set(0)
 	for conn := range p.leased {
 		conns = append(conns, conn)
 	}
@@ -297,7 +350,7 @@ func (p *Pool) Close() error {
 // zero policy: a partially merged vocabulary would silently change CV
 // scores rather than visibly degrade them.
 func (p *Pool) SetupVocabulary() (Trace, error) {
-	e := &exec{fed: p.fed, pool: p}
+	e := &exec{ctx: context.Background(), fed: p.fed, pool: p}
 	var trace Trace
 	trace.Mode = ModeCV
 	names := p.fed.Librarians()
@@ -330,7 +383,7 @@ func (p *Pool) SetupVocabulary() (Trace, error) {
 // SetupModels fetches each librarian's compressed-text model so fetched
 // documents can be shipped compressed and decoded at the receptionist.
 func (p *Pool) SetupModels() (Trace, error) {
-	e := &exec{fed: p.fed, pool: p}
+	e := &exec{ctx: context.Background(), fed: p.fed, pool: p}
 	var trace Trace
 	names := p.fed.Librarians()
 	replies, err := e.callParallel(&trace, PhaseSetup, names, func(string) protocol.Message {
@@ -361,7 +414,7 @@ func (p *Pool) SetupModels() (Trace, error) {
 // it atomically. The returned trace records the (large) one-time transfer
 // cost the paper's §4 discusses for the CI receptionist.
 func (p *Pool) SetupCentralIndexRemote(groupSize int) (Trace, error) {
-	e := &exec{fed: p.fed, pool: p}
+	e := &exec{ctx: context.Background(), fed: p.fed, pool: p}
 	var trace Trace
 	trace.Mode = ModeCI
 	names := p.fed.Librarians()

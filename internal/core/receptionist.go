@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"time"
 
+	"teraphim/internal/obs"
 	"teraphim/internal/simnet"
 	"teraphim/internal/textproc"
 )
@@ -83,6 +86,18 @@ type Config struct {
 	// one librarian concurrently. Zero selects
 	// DefaultMaxConnsPerLibrarian.
 	MaxConnsPerLibrarian int
+	// Metrics is the registry the pool registers its instruments on, letting
+	// several pools (or a pool plus a librarian) share one /metrics page.
+	// Nil gives the pool a private registry — metrics are always collected —
+	// reachable via Pool.Metrics().Registry().
+	Metrics *obs.Registry
+	// SlowQueryThreshold enables the slow-query log: a completed (or failed)
+	// query slower than this emits one key=value line with the per-stage
+	// breakdown to SlowQueryLog. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines; nil selects os.Stderr. The
+	// writer must be safe for concurrent use (os.Stderr and log writers are).
+	SlowQueryLog io.Writer
 }
 
 // Receptionist brokers queries to a fixed set of librarians. It is a thin
@@ -96,13 +111,22 @@ type Receptionist struct {
 }
 
 // Connect dials the named librarians (in the given order — the order fixes
-// global document numbering) and performs the Hello exchange.
+// global document numbering) and performs the Hello exchange. It is exactly
+// NewReceptionist(NewPool(...)): the single setup path lives in NewPool,
+// and Connect is the one-line convenience over it.
 func Connect(dialer simnet.Dialer, names []string, cfg Config) (*Receptionist, error) {
 	pool, err := NewPool(dialer, names, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Receptionist{pool: pool}, nil
+	return NewReceptionist(pool), nil
+}
+
+// NewReceptionist wraps an already-connected pool in the Receptionist
+// convenience API. Receptionists are stateless handles: any number may wrap
+// the same pool, alongside direct Pool/Session use.
+func NewReceptionist(pool *Pool) *Receptionist {
+	return &Receptionist{pool: pool}
 }
 
 // Pool returns the connection pool serving this receptionist.
@@ -176,6 +200,14 @@ func (r *Receptionist) GlobalWeights(query string) (map[string]float64, error) {
 func (r *Receptionist) Query(mode Mode, query string, k int, opts Options) (*Result, error) {
 	return r.pool.Query(mode, query, k, opts)
 }
+
+// QueryContext is Query under a context; see Session.QueryContext.
+func (r *Receptionist) QueryContext(ctx context.Context, mode Mode, query string, k int, opts Options) (*Result, error) {
+	return r.pool.QueryContext(ctx, mode, query, k, opts)
+}
+
+// Metrics returns the observability surface of the underlying pool.
+func (r *Receptionist) Metrics() *Metrics { return r.pool.Metrics() }
 
 // Boolean evaluates expr at every librarian and unions the result sets.
 func (r *Receptionist) Boolean(expr string) (*BooleanResult, error) {

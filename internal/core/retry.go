@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -56,6 +57,28 @@ func backoffDelay(base time.Duration, n int) time.Duration {
 		d = maxBackoff
 	}
 	return d
+}
+
+// sleepCtx waits d unless ctx is cancelled first, reporting whether the
+// full wait elapsed. Backoff between retry attempts goes through here so a
+// cancelled query stops waiting immediately instead of sleeping out its
+// (up to 5s) backoff schedule.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // retryableError reports whether a failed exchange is worth redialling and

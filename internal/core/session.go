@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,12 +26,25 @@ type Session struct {
 // Query evaluates a ranked query under the given methodology, returning the
 // top k answers merged across librarians. Safe for concurrent use.
 func (s *Session) Query(mode Mode, query string, k int, opts Options) (*Result, error) {
+	return s.QueryContext(context.Background(), mode, query, k, opts)
+}
+
+// QueryContext is Query under a context: cancelling ctx aborts the query
+// promptly — connection-slot waits, retry backoffs and blocked reads all
+// observe it — and a ctx deadline bounds every librarian exchange in
+// addition to Options.Timeout. Interrupted streams are discarded by the
+// pool, never leaked or reused.
+func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k int, opts Options) (*Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	e := &exec{fed: s.fed, pool: s.pool, policy: policyFor(opts)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &exec{ctx: ctx, fed: s.fed, pool: s.pool, policy: policyFor(opts)}
 	res := &Result{}
 	res.Trace.Mode = mode
+	start := time.Now()
 	var err error
 	switch mode {
 	case ModeCN:
@@ -42,13 +56,12 @@ func (s *Session) Query(mode Mode, query string, k int, opts Options) (*Result, 
 	default:
 		return nil, fmt.Errorf("core: receptionist cannot evaluate mode %v", mode)
 	}
+	if err == nil && opts.Fetch {
+		err = e.fetchAnswers(res, opts.CompressedTransfer)
+	}
+	s.pool.observeQuery(mode, query, time.Since(start), res, err)
 	if err != nil {
 		return nil, err
-	}
-	if opts.Fetch {
-		if err := e.fetchAnswers(res, opts.CompressedTransfer); err != nil {
-			return nil, err
-		}
 	}
 	return res, nil
 }
@@ -56,7 +69,7 @@ func (s *Session) Query(mode Mode, query string, k int, opts Options) (*Result, 
 // Boolean evaluates expr at every librarian and unions the result sets.
 // Safe for concurrent use.
 func (s *Session) Boolean(expr string) (*BooleanResult, error) {
-	e := &exec{fed: s.fed, pool: s.pool}
+	e := &exec{ctx: context.Background(), fed: s.fed, pool: s.pool}
 	return e.boolean(expr)
 }
 
@@ -69,6 +82,7 @@ func (s *Session) Federation() *Federation { return s.fed }
 // stack per query, which is what makes concurrent queries race-free —
 // nothing per-query is ever written to shared structures.
 type exec struct {
+	ctx    context.Context
 	fed    *Federation
 	pool   *Pool
 	policy callPolicy
@@ -109,14 +123,31 @@ func (e *exec) callParallel(trace *Trace, phase Phase, names []string, makeReq f
 
 	replies := make(map[string]protocol.Message, len(names))
 	var failures []Failure
+	var maxShip, maxWait time.Duration
 	for out := range results {
 		trace.Calls = append(trace.Calls, out.calls...)
+		// The librarians run in parallel, so the stage's wall-clock
+		// contribution is the slowest librarian's; a librarian's own attempts
+		// run serially, so its ship/wait times sum across retries.
+		var ship, wait time.Duration
+		for _, c := range out.calls {
+			ship += c.Ship
+			wait += c.Wait
+		}
+		if ship > maxShip {
+			maxShip = ship
+		}
+		if wait > maxWait {
+			maxWait = wait
+		}
 		if out.fail != nil {
 			failures = append(failures, *out.fail)
 			continue
 		}
 		replies[out.name] = out.reply
 	}
+	trace.Stages.Ship += maxShip
+	trace.Stages.Wait += maxWait
 	// Keep trace ordering deterministic for tests and cost accounting; the
 	// stable sort preserves attempt order within a (phase, librarian) pair.
 	sort.SliceStable(trace.Calls, func(i, j int) bool {
@@ -156,7 +187,7 @@ func (e *exec) callParallel(trace *Trace, phase Phase, names []string, makeReq f
 // exhausted the attempts. The lease is always released; a dirty or
 // half-used stream is discarded by the pool rather than reused.
 func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]Call, protocol.Message, *Failure) {
-	pc, err := e.pool.lease(name)
+	pc, err := e.pool.leaseCtx(e.ctx, name)
 	if err != nil {
 		return nil, nil, &Failure{Librarian: name, Phase: phase, Attempts: 1, Err: err}
 	}
@@ -166,8 +197,8 @@ func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if attempt > 1 {
-			if d := backoffDelay(e.policy.backoff, attempt-1); d > 0 {
-				time.Sleep(d)
+			if !sleepCtx(e.ctx, backoffDelay(e.policy.backoff, attempt-1)) {
+				return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt - 1, Err: e.ctx.Err()}
 			}
 		}
 		if err := pc.ensure(); err != nil {
@@ -186,6 +217,12 @@ func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]
 		if !retryableError(err) {
 			return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt, Err: err}
 		}
+		// A cancelled context surfaces here as a deadline error on the
+		// stream; report the cancellation itself rather than retrying a
+		// query nobody is waiting for.
+		if ctxErr := e.ctx.Err(); ctxErr != nil {
+			return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt, Err: ctxErr}
+		}
 	}
 	return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: maxAttempts, Err: lastErr}
 }
@@ -195,20 +232,41 @@ func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]
 func (e *exec) exchange(pc *PooledConn, phase Phase, req protocol.Message) (Call, protocol.Message, error) {
 	call := Call{Librarian: pc.name, Phase: phase, ReqType: req.Type()}
 	conn := pc.conn
+	// Deadline errors surface from the read/write below; a fresh deadline
+	// applies to every attempt, and is cleared before the connection can
+	// return to the idle list. The effective deadline is the earlier of the
+	// per-exchange Options.Timeout and the context's own deadline.
+	var deadline time.Time
 	if e.policy.timeout > 0 {
-		// Deadline errors surface from the read/write below; a fresh
-		// deadline applies to every attempt, and is cleared before the
-		// connection can return to the idle list.
-		_ = conn.SetDeadline(time.Now().Add(e.policy.timeout))
+		deadline = time.Now().Add(e.policy.timeout)
+	}
+	if d, ok := e.ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !deadline.IsZero() {
+		_ = conn.SetDeadline(deadline)
 		defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	}
+	if e.ctx.Done() != nil {
+		// Cancellation must wake a read blocked on a slow librarian, not
+		// just future deadline checks: snap the deadline into the past, which
+		// fails the pending I/O and marks the stream dirty for discard.
+		stop := context.AfterFunc(e.ctx, func() {
+			_ = conn.SetDeadline(time.Now().Add(-time.Second))
+		})
+		defer stop()
+	}
+	shipStart := time.Now()
 	wrote, err := protocol.WriteMessage(conn, req)
 	call.ReqBytes = wrote
+	call.Ship = time.Since(shipStart)
 	if err != nil {
 		return call, nil, err
 	}
+	waitStart := time.Now()
 	reply, read, err := protocol.ReadMessage(conn)
 	call.RespBytes = read
+	call.Wait = time.Since(waitStart)
 	if err != nil {
 		return call, nil, err
 	}

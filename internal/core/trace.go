@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"teraphim/internal/protocol"
 	"teraphim/internal/search"
@@ -80,6 +81,12 @@ type Call struct {
 	// DocsFetched and DocBytes describe fetch traffic.
 	DocsFetched int
 	DocBytes    int
+
+	// Ship is the time spent writing the request onto the wire; Wait spans
+	// from the end of the write until the reply is fully read, i.e. the
+	// librarian's evaluation plus the reply transfer.
+	Ship time.Duration
+	Wait time.Duration
 }
 
 // Failure records one librarian that could not complete an exchange: the
@@ -94,10 +101,27 @@ type Failure struct {
 	Err      error
 }
 
+// StageTimings is the wall-clock decomposition of one query, mirroring the
+// cost-model stages: Analyze is central work before any librarian is
+// contacted (CV/CI global weighting, CI group ranking); Ship is request
+// writing and Wait is librarian evaluation plus reply reading, each taken
+// as the maximum across the librarians contacted in parallel (attempts of
+// one librarian sum — retries lengthen its critical path); Merge is central
+// collation of the replies.
+type StageTimings struct {
+	Analyze time.Duration
+	Ship    time.Duration
+	Wait    time.Duration
+	Merge   time.Duration
+}
+
 // Trace is the complete record of one query's distributed evaluation.
 type Trace struct {
 	Mode  Mode
 	Calls []Call
+
+	// Stages is the per-stage wall-clock breakdown of this query.
+	Stages StageTimings
 
 	// CentralStats is receptionist-side index work (CI group ranking; zero
 	// otherwise).

@@ -61,14 +61,16 @@ func (r *Runner) Skipping(w io.Writer) error {
 					continue
 				}
 				queriesScored++
-				_, s1, err := withSkips.ScoreDocs(qText, docs, nil)
+				withRanking, err := withSkips.ScoreDocs(qText, docs, nil)
 				if err != nil {
 					return fmt.Errorf("experiments: skipping ablation: %w", err)
 				}
-				_, s2, err := noSkips.ScoreDocs(qText, docs, nil)
+				s1 := withRanking.Stats
+				withoutRanking, err := noSkips.ScoreDocs(qText, docs, nil)
 				if err != nil {
 					return fmt.Errorf("experiments: skipping ablation: %w", err)
 				}
+				s2 := withoutRanking.Stats
 				withD += s1.PostingsDecoded
 				withoutD += s2.PostingsDecoded
 			}
@@ -206,7 +208,8 @@ func (r *Runner) prunedEngine(minFDT uint32, minList int) (*search.Engine, error
 func (r *Runner) msRuns(engine *search.Engine, queries []trecsynth.Query) (map[string]eval.Run, error) {
 	runs := make(map[string]eval.Run, len(queries))
 	for _, q := range queries {
-		results, _, err := engine.Rank(q.Text, evalDepth, nil)
+		ranking, err := engine.Rank(q.Text, evalDepth, nil)
+		results := ranking.Results
 		if err != nil {
 			return nil, err
 		}

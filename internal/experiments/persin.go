@@ -36,7 +36,8 @@ func (r *Runner) FreqSorted(w io.Writer) error {
 		runs := make(map[string]eval.Run, len(queries))
 		var decoded uint64
 		for _, q := range queries {
-			results, stats, err := engine.Rank(q.Text, evalDepth, th)
+			ranking, err := engine.Rank(q.Text, evalDepth, th)
+			results, stats := ranking.Results, ranking.Stats
 			if err != nil {
 				return err
 			}

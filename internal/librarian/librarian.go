@@ -16,6 +16,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"teraphim/internal/index"
 	"teraphim/internal/protocol"
@@ -32,6 +34,9 @@ type Librarian struct {
 	name   string
 	engine *search.Engine
 	docs   *store.Store
+
+	// metrics is nil until Instrument; sessions load it once at start.
+	metrics atomic.Pointer[libMetrics]
 }
 
 // New assembles a librarian from its parts.
@@ -102,18 +107,37 @@ func (l *Librarian) Store() *store.Store { return l.docs }
 // search.Scratch for its lifetime, so consecutive queries on a connection
 // reuse the scoring kernel's accumulators instead of reallocating them.
 func (l *Librarian) ServeConn(conn io.ReadWriter) error {
+	m := l.metrics.Load()
+	if m != nil {
+		m.activeSessions.Inc()
+		defer m.activeSessions.Dec()
+	}
 	scratch := search.GetScratch()
 	defer scratch.Release()
 	for {
-		msg, _, err := protocol.ReadMessage(conn)
+		msg, read, err := protocol.ReadMessage(conn)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("librarian %q: %w", l.name, err)
 		}
+		start := time.Now()
 		reply := l.handle(scratch, msg)
-		if _, err := protocol.WriteMessage(conn, reply); err != nil {
+		wrote, err := protocol.WriteMessage(conn, reply)
+		if m != nil {
+			m.requests.Inc()
+			m.bytesIn.Add(uint64(read))
+			m.bytesOut.Add(uint64(wrote))
+			m.serviceTime.ObserveDuration(time.Since(start))
+			switch r := reply.(type) {
+			case *protocol.RankReply:
+				m.search.Observe(r.Stats)
+			case *protocol.BooleanReply:
+				m.search.Observe(r.Stats)
+			}
+		}
+		if err != nil {
 			return fmt.Errorf("librarian %q: %w", l.name, err)
 		}
 	}

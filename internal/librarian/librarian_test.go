@@ -105,7 +105,8 @@ func TestRankOverWire(t *testing.T) {
 		t.Fatalf("top doc = %d, want 2", rr.Results[0].Doc)
 	}
 	// Wire results must equal direct engine results.
-	direct, _, err := lib.Engine().Rank("cats sunlight", 10, nil)
+	ranking, err := lib.Engine().Rank("cats sunlight", 10, nil)
+	direct := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,8 @@ func TestBuildStemsConsistently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, _, err := lib.Engine().Rank("library distribution", 5, nil)
+	ranking, err := lib.Engine().Rank("library distribution", 5, nil)
+	results := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,45 @@
+package librarian
+
+import (
+	"fmt"
+
+	"teraphim/internal/obs"
+	"teraphim/internal/search"
+)
+
+// libMetrics is one librarian's instrument set. ServeConn loads it through
+// an atomic pointer once per session, so Instrument may be called before or
+// after serving starts and an uninstrumented librarian pays a single atomic
+// load per session.
+type libMetrics struct {
+	activeSessions *obs.Gauge
+	requests       *obs.Counter
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+	serviceTime    *obs.Histogram
+	search         *search.Metrics
+}
+
+// Instrument registers this librarian's instruments on reg and starts
+// recording: active sessions, request count, wire bytes in/out, per-request
+// service time (read-to-write-complete), and the evaluation work behind
+// rank/score/boolean replies (postings decoded, candidates scored). All
+// series carry a librarian label, so several librarians can share one
+// registry — the deployment the paper's receptionist federates over.
+func (l *Librarian) Instrument(reg *obs.Registry) {
+	labels := fmt.Sprintf("librarian=%q", l.name)
+	m := &libMetrics{
+		activeSessions: reg.Gauge("teraphim_librarian_active_sessions",
+			"Protocol sessions currently being served.", labels),
+		requests: reg.Counter("teraphim_librarian_requests_total",
+			"Protocol requests answered (including ErrorReply answers).", labels),
+		bytesIn: reg.Counter("teraphim_librarian_bytes_in_total",
+			"Request bytes read off the wire.", labels),
+		bytesOut: reg.Counter("teraphim_librarian_bytes_out_total",
+			"Reply bytes written to the wire.", labels),
+		serviceTime: reg.Histogram("teraphim_librarian_request_seconds",
+			"Per-request service time: evaluation plus reply write.", labels, nil),
+		search: search.NewMetrics(reg, labels),
+	}
+	l.metrics.Store(m)
+}

@@ -25,7 +25,8 @@ func newUpdatable(t *testing.T) *UpdatableLibrarian {
 func TestUpdateSwapsCollection(t *testing.T) {
 	u := newUpdatable(t)
 	before := u.Current()
-	results, _, err := u.Engine().Rank("cats", 5, nil)
+	ranking, err := u.Engine().Rank("cats", 5, nil)
+	results := ranking.Results
 	if err != nil || len(results) != 1 {
 		t.Fatalf("before update: %v, %v", results, err)
 	}
@@ -37,12 +38,14 @@ func TestUpdateSwapsCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, _, err = u.Engine().Rank("ferrets", 5, nil)
+	ranking, err = u.Engine().Rank("ferrets", 5, nil)
+	results = ranking.Results
 	if err != nil || len(results) != 2 {
 		t.Fatalf("after update: %v, %v", results, err)
 	}
 	// Old snapshot stays intact for in-flight users.
-	results, _, err = before.Engine().Rank("dogs", 5, nil)
+	ranking, err = before.Engine().Rank("dogs", 5, nil)
+	results = ranking.Results
 	if err != nil || len(results) != 1 {
 		t.Fatalf("old snapshot: %v, %v", results, err)
 	}
@@ -69,7 +72,8 @@ func TestAppendKeepsExistingDocs(t *testing.T) {
 	if err != nil || doc.Title != "d2" {
 		t.Fatalf("doc 2 after append: %+v, %v", doc, err)
 	}
-	results, _, err := u.Engine().Rank("parrots", 5, nil)
+	ranking, err := u.Engine().Rank("parrots", 5, nil)
+	results := ranking.Results
 	if err != nil || len(results) != 1 || results[0].Doc != 2 {
 		t.Fatalf("parrots: %v, %v", results, err)
 	}
@@ -138,7 +142,7 @@ func TestConcurrentQueriesDuringUpdate(t *testing.T) {
 					return
 				default:
 				}
-				if _, _, err := u.Engine().Rank("cats ferrets", 5, nil); err != nil {
+				if _, err := u.Engine().Rank("cats ferrets", 5, nil); err != nil {
 					errs <- err
 					return
 				}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the union of the given registries' metrics as Prometheus
+// text exposition format. Registries render in argument order, so co-hosted
+// components (a pool and a librarian in one process) keep stable output.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			if reg == nil {
+				continue
+			}
+			if err := reg.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// NewMux returns a mux exposing /metrics for the given registries plus the
+// standard /debug/pprof endpoints — the diagnosis surface the binaries mount
+// behind their opt-in -obs flag.
+func NewMux(regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(regs...))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the endpoint immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ListenAndServe binds addr and serves /metrics + /debug/pprof in a
+// background goroutine until Close. It returns once the listener is bound,
+// so callers can print the resolved address.
+func ListenAndServe(addr string, regs ...*Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(regs...), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}

@@ -233,7 +233,8 @@ func TestGoldenRankMatchesSeedEvaluator(t *testing.T) {
 					weights = e.QueryWeights(e.ParseQuery(q))
 				}
 				want := goldenRank(t, e, q, k, weights)
-				got, _, err := e.Rank(q, k, weights)
+				ranking, err := e.Rank(q, k, weights)
+				got := ranking.Results
 				if err != nil {
 					t.Fatalf("k=%d query %q (%s): %v", k, q, mode, err)
 				}
@@ -266,7 +267,8 @@ func TestGoldenScoreDocsMatchesSeedEvaluator(t *testing.T) {
 			targets = append(targets, uint32(rng.Intn(int(n))))
 		}
 		want := goldenScoreDocs(t, e, q, targets, nil)
-		got, _, err := e.ScoreDocs(q, targets, nil)
+		ranking, err := e.ScoreDocs(q, targets, nil)
+		got := ranking.Results
 		if err != nil {
 			t.Fatalf("query %q: %v", q, err)
 		}
@@ -337,7 +339,8 @@ func TestConcurrentRankWithPooledScratch(t *testing.T) {
 	e, queries := goldenCorpus(t)
 	want := make([][]Result, len(queries))
 	for i, q := range queries {
-		r, _, err := e.Rank(q, 20, nil)
+		ranking, err := e.Rank(q, 20, nil)
+		r := ranking.Results
 		if err != nil {
 			t.Fatal(err)
 		}

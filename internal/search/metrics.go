@@ -1,0 +1,41 @@
+package search
+
+import "teraphim/internal/obs"
+
+// Metrics aggregates evaluator work — the quantities Stats already accounts
+// per query — into registry counters, one series per component (a librarian
+// engine, the CI central index). Observe is a handful of atomic adds, so it
+// can sit directly on the serving path without disturbing the kernel's
+// steady-state allocation behaviour.
+type Metrics struct {
+	PostingsDecoded  *obs.Counter
+	CandidatesScored *obs.Counter
+	ListsFetched     *obs.Counter
+	IndexBytesRead   *obs.Counter
+}
+
+// NewMetrics registers the evaluator counter families on reg under the given
+// pre-formatted label set (e.g. `component="librarian"`).
+func NewMetrics(reg *obs.Registry, labels string) *Metrics {
+	return &Metrics{
+		PostingsDecoded: reg.Counter("teraphim_search_postings_decoded_total",
+			"Postings decoded by the scoring kernel (the paper's disk/CPU term t_d+t_r per posting).", labels),
+		CandidatesScored: reg.Counter("teraphim_search_candidates_scored_total",
+			"Candidate documents given accumulators (the paper's A, per-query accumulator load).", labels),
+		ListsFetched: reg.Counter("teraphim_search_lists_fetched_total",
+			"Inverted lists read (the paper's per-term seek term t_s).", labels),
+		IndexBytesRead: reg.Counter("teraphim_search_index_bytes_read_total",
+			"Compressed index bytes touched (ListBytes accounting).", labels),
+	}
+}
+
+// Observe folds one evaluation's Stats into the counters.
+func (m *Metrics) Observe(s Stats) {
+	if m == nil {
+		return
+	}
+	m.PostingsDecoded.Add(s.PostingsDecoded)
+	m.CandidatesScored.Add(uint64(s.CandidateDocs))
+	m.ListsFetched.Add(uint64(s.ListsFetched))
+	m.IndexBytesRead.Add(s.IndexBytesRead)
+}

@@ -45,10 +45,11 @@ type Thresholds struct {
 
 // Rank evaluates a thresholded ranked query, returning the top k documents.
 // Scratch state comes from the shared pool; use RankWith to supply your own.
-func (e *PrunedEngine) Rank(query string, k int, th Thresholds) ([]Result, Stats, error) {
+func (e *PrunedEngine) Rank(query string, k int, th Thresholds) (Ranking, error) {
 	s := GetScratch()
 	defer s.Release()
-	return e.RankWith(s, query, k, th)
+	results, stats, err := e.RankWith(s, query, k, th)
+	return Ranking{Results: results, Stats: stats}, err
 }
 
 // RankWith is Rank running on a caller-owned Scratch: the same flat

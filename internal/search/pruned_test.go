@@ -43,11 +43,13 @@ func TestPrunedZeroThresholdExact(t *testing.T) {
 	}
 	pruned, exact := buildFreqSorted(t, docs)
 	for _, q := range []string{"w1 w2 w3", "w10 w200 w299 w4 w4", "w7"} {
-		want, _, err := exact.Rank(q, 25, nil)
+		ranking, err := exact.Rank(q, 25, nil)
+		want := ranking.Results
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := pruned.Rank(q, 25, Thresholds{})
+		ranking, err = pruned.Rank(q, 25, Thresholds{})
+		got := ranking.Results
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,11 +93,13 @@ func TestPrunedThresholdSavesWork(t *testing.T) {
 	pruned, _ := buildFreqSorted(t, docs)
 	query := "w1 w2 w3 w4 w5"
 
-	full, fullStats, err := pruned.Rank(query, 20, Thresholds{})
+	ranking, err := pruned.Rank(query, 20, Thresholds{})
+	full, fullStats := ranking.Results, ranking.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
-	cut, cutStats, err := pruned.Rank(query, 20, Thresholds{Insert: 0.55, Add: 0.4})
+	ranking, err = pruned.Rank(query, 20, Thresholds{Insert: 0.55, Add: 0.4})
+	cut, cutStats := ranking.Results, ranking.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +128,14 @@ func TestPrunedThresholdSavesWork(t *testing.T) {
 
 func TestPrunedValidation(t *testing.T) {
 	pruned, _ := buildFreqSorted(t, []string{"a b c", "b c d"})
-	if _, _, err := pruned.Rank("a", 0, Thresholds{}); err == nil {
+	if _, err := pruned.Rank("a", 0, Thresholds{}); err == nil {
 		t.Fatal("k=0: want error")
 	}
-	if _, _, err := pruned.Rank("!!!", 5, Thresholds{}); err != ErrEmptyQuery {
+	if _, err := pruned.Rank("!!!", 5, Thresholds{}); err != ErrEmptyQuery {
 		t.Fatalf("want ErrEmptyQuery, got %v", err)
 	}
-	results, _, err := pruned.Rank("zzz", 5, Thresholds{})
+	ranking, err := pruned.Rank("zzz", 5, Thresholds{})
+	results := ranking.Results
 	if err != nil || len(results) != 0 {
 		t.Fatalf("unknown term: %v, %v", results, err)
 	}
@@ -199,7 +204,7 @@ func BenchmarkPrunedRank(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := pruned.Rank("w1 w2 w3 w4 w5 w6", 20, Thresholds{Insert: 0.1, Add: 0.02}); err != nil {
+		if _, err := pruned.Rank("w1 w2 w3 w4 w5 w6", 20, Thresholds{Insert: 0.1, Add: 0.02}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -113,7 +113,8 @@ func TestEngineAgainstBruteForce(t *testing.T) {
 				qb.WriteString("t" + strconv.Itoa(rng.Intn(vocab+3)) + " ") // may include absent terms
 			}
 			k := rng.Intn(15) + 1
-			got, _, err := engine.Rank(qb.String(), k, nil)
+			ranking, err := engine.Rank(qb.String(), k, nil)
+			got := ranking.Results
 			if err != nil {
 				return false
 			}
@@ -161,7 +162,8 @@ func TestScoreDocsAgainstBruteForce(t *testing.T) {
 			refScores[r.Doc] = r.Score
 		}
 		targets := []uint32{0, uint32(ndocs / 2), uint32(ndocs - 1)}
-		got, _, err := engine.ScoreDocs(query, targets, nil)
+		ranking, err := engine.ScoreDocs(query, targets, nil)
+		got := ranking.Results
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -21,6 +21,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -37,6 +38,16 @@ var ErrEmptyQuery = errors.New("search: query has no indexable terms")
 type Result struct {
 	Doc   uint32
 	Score float64
+}
+
+// Ranking is a completed query evaluation: the answers in decreasing score
+// order plus the work the evaluation performed. The convenience entry points
+// (Rank, ScoreDocs, PrunedEngine.Rank) return it instead of positional
+// (results, stats, err) triples; the caller-owned-Scratch kernel methods
+// (RankWith, ScoreDocsWith) keep the flat form for zero-allocation use.
+type Ranking struct {
+	Results []Result
+	Stats   Stats
 }
 
 // Stats captures the work a query performed, feeding the cost model of the
@@ -170,15 +181,30 @@ func (e *Engine) resolveWeights(s *Scratch, weights map[string]float64) float64 
 // weights (MS and CN behaviour); otherwise the supplied global weights are
 // used verbatim (CV behaviour) and terms absent from weights are skipped.
 // Scratch state comes from the shared pool; use RankWith to supply your own.
-func (e *Engine) Rank(query string, k int, weights map[string]float64) ([]Result, Stats, error) {
+func (e *Engine) Rank(query string, k int, weights map[string]float64) (Ranking, error) {
+	return e.RankContext(context.Background(), query, k, weights)
+}
+
+// RankContext is Rank honouring a context: cancellation is checked between
+// inverted lists, so a long multi-term evaluation stops promptly when the
+// caller gives up.
+func (e *Engine) RankContext(ctx context.Context, query string, k int, weights map[string]float64) (Ranking, error) {
 	s := GetScratch()
 	defer s.Release()
-	return e.RankWith(s, query, k, weights)
+	results, stats, err := e.rankWith(ctx, s, query, k, weights)
+	return Ranking{Results: results, Stats: stats}, err
 }
 
 // RankWith is Rank running on a caller-owned Scratch. In steady state the
 // only allocation left is the returned result slice.
 func (e *Engine) RankWith(s *Scratch, query string, k int, weights map[string]float64) ([]Result, Stats, error) {
+	return e.rankWith(nil, s, query, k, weights)
+}
+
+// rankWith is the shared kernel behind Rank/RankContext/RankWith. A nil ctx
+// skips the cancellation checks entirely, keeping the hot kernel path free
+// of even the ctx.Err() loads.
+func (e *Engine) rankWith(ctx context.Context, s *Scratch, query string, k int, weights map[string]float64) ([]Result, Stats, error) {
 	var stats Stats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("search: k must be positive, got %d", k)
@@ -193,6 +219,11 @@ func (e *Engine) RankWith(s *Scratch, query string, k int, weights map[string]fl
 	numDocs := e.ix.NumDocs()
 	s.reset(numDocs)
 	for i := range s.qterms {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		qt := &s.qterms[i]
 		if qt.wqt <= 0 {
 			continue
@@ -228,10 +259,11 @@ func (e *Engine) RankWith(s *Scratch, query string, k int, weights map[string]fl
 // path of the Central Index methodology: only a fraction of each inverted
 // list is decoded. Results are returned for every requested doc (score 0 if
 // no query term matches), in the order requested.
-func (e *Engine) ScoreDocs(query string, docs []uint32, weights map[string]float64) ([]Result, Stats, error) {
+func (e *Engine) ScoreDocs(query string, docs []uint32, weights map[string]float64) (Ranking, error) {
 	s := GetScratch()
 	defer s.Release()
-	return e.ScoreDocsWith(s, query, docs, weights)
+	results, stats, err := e.ScoreDocsWith(s, query, docs, weights)
+	return Ranking{Results: results, Stats: stats}, err
 }
 
 // ScoreDocsWith is ScoreDocs running on a caller-owned Scratch.

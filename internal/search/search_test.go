@@ -77,7 +77,8 @@ func refScore(t *testing.T, e *Engine, query string, doc uint32) float64 {
 
 func TestRankAgainstReference(t *testing.T) {
 	e := buildEngine(t, tinyDocs)
-	results, stats, err := e.Rank("cat fish", 10, nil)
+	ranking, err := e.Rank("cat fish", 10, nil)
+	results, stats := ranking.Results, ranking.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +108,16 @@ func TestRankAgainstReference(t *testing.T) {
 
 func TestRankTopKBound(t *testing.T) {
 	e := buildEngine(t, tinyDocs)
-	results, _, err := e.Rank("cat dog fish bird", 2, nil)
+	ranking, err := e.Rank("cat dog fish bird", 2, nil)
+	results := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) != 2 {
 		t.Fatalf("k=2 returned %d results", len(results))
 	}
-	all, _, err := e.Rank("cat dog fish bird", 10, nil)
+	ranking, err = e.Rank("cat dog fish bird", 10, nil)
+	all := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,13 +128,14 @@ func TestRankTopKBound(t *testing.T) {
 
 func TestRankErrors(t *testing.T) {
 	e := buildEngine(t, tinyDocs)
-	if _, _, err := e.Rank("cat", 0, nil); err == nil {
+	if _, err := e.Rank("cat", 0, nil); err == nil {
 		t.Error("k=0: want error")
 	}
-	if _, _, err := e.Rank("@@@ !!!", 5, nil); err != ErrEmptyQuery {
+	if _, err := e.Rank("@@@ !!!", 5, nil); err != ErrEmptyQuery {
 		t.Errorf("unindexable query: want ErrEmptyQuery, got %v", err)
 	}
-	results, _, err := e.Rank("zebra", 5, nil)
+	ranking, err := e.Rank("zebra", 5, nil)
+	results := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +148,8 @@ func TestRankWithSuppliedWeights(t *testing.T) {
 	e := buildEngine(t, tinyDocs)
 	// Weight only "fish"; "cat" must then contribute nothing.
 	weights := map[string]float64{"fish": 2.0}
-	results, _, err := e.Rank("cat fish", 10, weights)
+	ranking, err := e.Rank("cat fish", 10, weights)
+	results := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +162,13 @@ func TestRankWithSuppliedWeights(t *testing.T) {
 	// normalises by W_q).
 	w1 := map[string]float64{"cat": 1, "fish": 3}
 	w2 := map[string]float64{"cat": 10, "fish": 30}
-	r1, _, err := e.Rank("cat fish", 10, w1)
+	ranking, err = e.Rank("cat fish", 10, w1)
+	r1 := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _, err := e.Rank("cat fish", 10, w2)
+	ranking, err = e.Rank("cat fish", 10, w2)
+	r2 := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +187,8 @@ func TestRankWithSuppliedWeights(t *testing.T) {
 
 func TestScoreDocsMatchesRank(t *testing.T) {
 	e := buildEngine(t, tinyDocs)
-	full, _, err := e.Rank("cat fish dog", 10, nil)
+	ranking, err := e.Rank("cat fish dog", 10, nil)
+	full := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +197,8 @@ func TestScoreDocsMatchesRank(t *testing.T) {
 		want[r.Doc] = r.Score
 	}
 	docs := []uint32{2, 0, 4, 1}
-	scored, _, err := e.ScoreDocs("cat fish dog", docs, nil)
+	ranking, err = e.ScoreDocs("cat fish dog", docs, nil)
+	scored := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +217,7 @@ func TestScoreDocsMatchesRank(t *testing.T) {
 
 func TestScoreDocsOutOfRange(t *testing.T) {
 	e := buildEngine(t, tinyDocs)
-	if _, _, err := e.ScoreDocs("cat", []uint32{99}, nil); err == nil {
+	if _, err := e.ScoreDocs("cat", []uint32{99}, nil); err == nil {
 		t.Fatal("out-of-range doc: want error")
 	}
 }
@@ -226,7 +235,8 @@ func TestScoreDocsSkipEfficiency(t *testing.T) {
 	}
 	e := buildEngine(t, docs)
 	targets := []uint32{100, 2000, 3999}
-	_, stats, err := e.ScoreDocs("common", targets, nil)
+	ranking0, err := e.ScoreDocs("common", targets, nil)
+	stats := ranking0.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +330,7 @@ func BenchmarkRank(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.Rank("w1 w2 w3 w4 w5 w6 w7 w8", 20, nil); err != nil {
+		if _, err := e.Rank("w1 w2 w3 w4 w5 w6 w7 w8", 20, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -341,7 +351,7 @@ func BenchmarkScoreDocs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.ScoreDocs("w1 w2 w3 w4 w5 w6 w7 w8", targets, nil); err != nil {
+		if _, err := e.ScoreDocs("w1 w2 w3 w4 w5 w6 w7 w8", targets, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

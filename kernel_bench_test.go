@@ -123,13 +123,13 @@ func BenchmarkSearchKernel(b *testing.B) {
 	for _, k := range []int{10, 100} {
 		k := k
 		measure("Engine/Rank/k="+strconv.Itoa(k), func(int) error {
-			_, _, err := e.Rank(rankQuery, k, nil)
+			_, err := e.Rank(rankQuery, k, nil)
 			return err
 		})
 	}
 	targets := []uint32{10, 500, 900, 2500, 4000, 4500}
 	measure("Engine/ScoreDocs", func(int) error {
-		_, _, err := e.ScoreDocs(rankQuery, targets, nil)
+		_, err := e.ScoreDocs(rankQuery, targets, nil)
 		return err
 	})
 

@@ -25,10 +25,22 @@
 //
 //	docs := []teraphim.Document{{Title: "a", Text: "hello distributed world"}}
 //	lib, _ := teraphim.BuildLibrarian("demo", docs)
-//	results, _, _ := lib.Engine().Rank("distributed", 10, nil)
+//	ranking, _ := lib.Engine().Rank("distributed", 10, nil)
+//	_ = ranking.Results // scored documents; ranking.Stats has the work done
 //
 // See examples/ for complete programs, including a federated deployment
 // over TCP and a simulated wide-area network.
+//
+// # Observability
+//
+// Every Pool collects metrics (query counters per methodology, per-stage
+// latency histograms, connection-pool gauges) on an obs-package registry —
+// a private one by default, or a shared one via ReceptionistConfig.Metrics.
+// ServeMetrics exposes one or more registries as a Prometheus /metrics
+// endpoint plus net/http/pprof profiles; see README.md for the endpoint
+// recipe and the metric name table. Queries accept a context through
+// QueryContext (on Receptionist, Pool and Session): cancellation aborts
+// slot waits, retry backoffs and in-flight reads promptly.
 package teraphim
 
 import (
@@ -38,6 +50,7 @@ import (
 	"teraphim/internal/eval"
 	"teraphim/internal/index"
 	"teraphim/internal/librarian"
+	"teraphim/internal/obs"
 	"teraphim/internal/search"
 	"teraphim/internal/simnet"
 	"teraphim/internal/store"
@@ -128,6 +141,29 @@ const (
 // BooleanResult is the union result of a distributed Boolean query.
 type BooleanResult = core.BooleanResult
 
+// Observability types.
+type (
+	// MetricsRegistry collects metric instruments and renders them in
+	// Prometheus text format. One registry may be shared by pools and
+	// librarians; ReceptionistConfig.Metrics installs it on a pool, and
+	// Librarian.Instrument on a librarian.
+	MetricsRegistry = obs.Registry
+	// MetricsServer is a running /metrics + pprof HTTP endpoint.
+	MetricsServer = obs.Server
+	// PoolMetrics is the observability surface of one Pool.
+	PoolMetrics = core.Metrics
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics serves the registries' instruments at /metrics on addr (in
+// registration order), with net/http/pprof mounted under /debug/pprof/.
+// Close the returned server to stop.
+func ServeMetrics(addr string, regs ...*MetricsRegistry) (*MetricsServer, error) {
+	return obs.ListenAndServe(addr, regs...)
+}
+
 // Frequency-sorted retrieval (Persin-style per-query thresholding, the
 // paper's §5 future work).
 type (
@@ -207,10 +243,21 @@ func NewInProcessDialer(libs []*Librarian, cfg LinkConfig) *InProcessDialer {
 }
 
 // ConnectReceptionist dials the named librarians (order fixes global
-// document numbering) and performs the initial Hello exchange.
+// document numbering) and performs the initial Hello exchange. It is the
+// single-client convenience over ConnectPool: a Receptionist is a stateless
+// handle on the pool it wraps, so ConnectReceptionist(...) is exactly
+// ConnectPool(...) followed by NewReceptionist.
 func ConnectReceptionist(dialer Dialer, names []string, cfg ReceptionistConfig) (*Receptionist, error) {
-	return core.Connect(dialer, names, cfg)
+	pool, err := ConnectPool(dialer, names, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewReceptionist(pool), nil
 }
+
+// NewReceptionist wraps an already-connected pool in the Receptionist
+// convenience API.
+func NewReceptionist(pool *Pool) *Receptionist { return core.NewReceptionist(pool) }
 
 // ConnectPool dials the named librarians and returns a connection pool
 // whose Federation is shared by every Session: run the Setup* exchanges

@@ -24,7 +24,8 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, _, err := lib.Engine().Rank("merging librarian rankings", 3, nil)
+	ranking, err := lib.Engine().Rank("merging librarian rankings", 3, nil)
+	results := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,13 @@ func TestSaveLoadCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := lib.Engine().Rank("distributed retrieval", 4, nil)
+	ranking, err := lib.Engine().Rank("distributed retrieval", 4, nil)
+	want := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := loaded.Engine().Rank("distributed retrieval", 4, nil)
+	ranking, err = loaded.Engine().Rank("distributed retrieval", 4, nil)
+	got := ranking.Results
 	if err != nil {
 		t.Fatal(err)
 	}
