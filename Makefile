@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool verify
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke verify
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,16 @@ fuzz-smoke:
 bench-pool:
 	$(GO) test -run='^$$' -bench=PoolThroughput .
 
+# Regenerate BENCH_cache.json: repeated-query throughput with the result
+# cache off vs on (the writer is gated on CACHE_BENCH_RECORD).
+bench-cache:
+	CACHE_BENCH_RECORD=1 $(GO) test -run='^$$' -bench=CacheThroughput .
+
+# Short form for verify: exercises every cache sweep cell without touching
+# the recorded BENCH_cache.json numbers.
+bench-cache-smoke:
+	$(GO) test -run='^$$' -bench=CacheThroughput -benchtime=0.05s .
+
 # Full search-kernel sweep with allocation reporting; regenerates the
 # "current" section of BENCH_search.json (the "baseline" section records
 # the pre-kernel evaluator and is preserved).
@@ -43,5 +53,5 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SearchKernel -benchmem -benchtime=0.05s .
 
-verify: vet build race fuzz-smoke bench-smoke
+verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke
 	@echo "verify: OK"

@@ -1,0 +1,126 @@
+package teraphim
+
+// BenchmarkCacheThroughput measures what the receptionist result cache buys
+// on a repeated-query workload: the same client fan-out as
+// BenchmarkPoolThroughput (CV over latency-shaped links), run cache-off and
+// cache-on. With the cache every repeat of the 24-query rotation is answered
+// from memory — no librarian round trips — so throughput decouples from the
+// simulated network entirely. Run
+//
+//	go test -bench=CacheThroughput -run='^$'
+//
+// Each sub-benchmark reports queries/sec and cache hits; `make bench-cache`
+// sets CACHE_BENCH_RECORD and regenerates BENCH_cache.json (the smoke run in
+// `make verify` leaves the recorded numbers alone).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+)
+
+type cacheBenchRow struct {
+	Cache      bool    `json:"cache"`
+	Clients    int     `json:"clients"`
+	Queries    int     `json:"queries"`
+	CacheHits  uint64  `json:"cache_hits"`
+	Seconds    float64 `json:"seconds"`
+	QueriesSec float64 `json:"queries_per_sec"`
+}
+
+func BenchmarkCacheThroughput(b *testing.B) {
+	poolBenchSetup(b)
+	specs := []struct {
+		label string
+		cache *CacheConfig
+	}{
+		{"cache=off", nil},
+		{"cache=on", &CacheConfig{}},
+	}
+	rows := make(map[string]cacheBenchRow)
+	for _, spec := range specs {
+		for _, clients := range []int{1, 4, 8} {
+			name := fmt.Sprintf("%s/clients=%d", spec.label, clients)
+			b.Run(name, func(b *testing.B) {
+				pool, err := ConnectPool(poolBenchDialer, poolBenchNames,
+					ReceptionistConfig{MaxConnsPerLibrarian: clients, Cache: spec.cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pool.Close()
+				if _, err := pool.SetupVocabulary(); err != nil {
+					b.Fatal(err)
+				}
+				work := make(chan int)
+				errs := make(chan error, clients)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sess := pool.Session()
+						for i := range work {
+							q := poolBenchQueries[i%len(poolBenchQueries)]
+							if _, err := sess.Query(ModeCV, q, 20, Options{}); err != nil {
+								errs <- err
+								return
+							}
+						}
+						errs <- nil
+					}()
+				}
+				for i := 0; i < b.N; i++ {
+					work <- i
+				}
+				close(work)
+				wg.Wait()
+				b.StopTimer()
+				close(errs)
+				for err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				var hits uint64
+				if stats, ok := pool.CacheStats(); ok {
+					hits = stats.Hits
+				}
+				secs := b.Elapsed().Seconds()
+				var qps float64
+				if secs > 0 {
+					qps = float64(b.N) / secs
+				}
+				b.ReportMetric(qps, "queries/sec")
+				rows[name] = cacheBenchRow{
+					Cache: spec.cache != nil, Clients: clients,
+					Queries: b.N, CacheHits: hits, Seconds: secs, QueriesSec: qps,
+				}
+			})
+		}
+	}
+	if os.Getenv("CACHE_BENCH_RECORD") == "" || len(rows) == 0 {
+		return
+	}
+	out := make([]cacheBenchRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cache != out[j].Cache {
+			return !out[i].Cache
+		}
+		return out[i].Clients < out[j].Clients
+	})
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cache.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_cache.json (%d rows)", len(out))
+}

@@ -50,6 +50,11 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	minLibs := fs.Int("minlibs", 0, "with -partial, minimum surviving librarians per query (implies -partial)")
 	obsAddr := fs.String("obs", "", "serve Prometheus /metrics and pprof on this address (e.g. :9090; empty = off)")
 	slowQuery := fs.Duration("slowquery", 0, "log queries slower than this with a per-stage breakdown (0 = off)")
+	cache := fs.Int("cache", 0, "enable the result cache with this many entries (0 = off)")
+	cacheBytes := fs.Int64("cachebytes", 0, "with -cache, approximate cache size bound in bytes (0 = default)")
+	inflight := fs.Int("inflight", 0, "admission control: max concurrently evaluating queries (0 = unlimited)")
+	queue := fs.Int("queue", 0, "with -inflight, max queries waiting for admission before shedding")
+	queueWait := fs.Duration("queuewait", 0, "with -inflight, max time a query waits for admission (0 = until deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,11 +90,18 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 		analyzerOpts = append(analyzerOpts, textproc.WithoutStopwords())
 	}
 	reg := obs.NewRegistry()
-	recep, err := core.Connect(dialer, names, core.Config{
+	cfg := core.Config{
 		Analyzer:           textproc.NewAnalyzer(analyzerOpts...),
 		Metrics:            reg,
 		SlowQueryThreshold: *slowQuery,
-	})
+	}
+	if *cache > 0 {
+		cfg.Cache = &core.CacheConfig{MaxEntries: *cache, MaxBytes: *cacheBytes}
+	}
+	if *inflight > 0 {
+		cfg.Admission = &core.AdmissionConfig{MaxInFlight: *inflight, MaxQueue: *queue, MaxWait: *queueWait}
+	}
+	recep, err := core.Connect(dialer, names, cfg)
 	if err != nil {
 		return err
 	}
@@ -158,9 +170,13 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 			fmt.Fprint(w, "query> ")
 			continue
 		}
-		fmt.Fprintf(w, "%d answers from %d librarians (%d candidates merged, %d bytes moved)\n",
-			len(res.Answers), res.Trace.LibrariansAsked,
-			res.Trace.MergeCandidates, res.Trace.BytesTransferred(0))
+		if res.Trace.CacheHit {
+			fmt.Fprintf(w, "%d answers (cached; no librarian round trips)\n", len(res.Answers))
+		} else {
+			fmt.Fprintf(w, "%d answers from %d librarians (%d candidates merged, %d bytes moved)\n",
+				len(res.Answers), res.Trace.LibrariansAsked,
+				res.Trace.MergeCandidates, res.Trace.BytesTransferred(0))
+		}
 		if res.Trace.Degraded {
 			fmt.Fprintf(w, "DEGRADED: answered without %d librarian(s)\n", len(res.Trace.Failures))
 			for _, f := range res.Trace.Failures {

@@ -17,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +62,11 @@ func run(w io.Writer, args []string) error {
 	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	obsAddr := fs.String("obs", "", "serve Prometheus /metrics and pprof during the run (e.g. :9090; empty = off)")
 	slowQuery := fs.Duration("slowquery", 0, "log queries slower than this with a per-stage breakdown (0 = off)")
+	cache := fs.Int("cache", 0, "enable the result cache with this many entries (0 = off)")
+	cacheBytes := fs.Int64("cachebytes", 0, "with -cache, approximate cache size bound in bytes (0 = default)")
+	inflight := fs.Int("inflight", 0, "admission control: max concurrently evaluating queries (0 = unlimited)")
+	queue := fs.Int("queue", 0, "with -inflight, max queries waiting for admission before shedding")
+	queueWait := fs.Duration("queuewait", 0, "with -inflight, max time a query waits for admission (0 = until deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,8 +141,14 @@ func run(w io.Writer, args []string) error {
 		defer srv.Close()
 		fmt.Fprintf(w, "metrics and pprof on http://%s/ for the duration of the run\n", srv.Addr())
 	}
-	report, err := drive(dialer, names, qmode, queries, *clients, *n, *k, *group, opts,
-		core.Config{MaxConnsPerLibrarian: maxConns, Metrics: reg, SlowQueryThreshold: *slowQuery})
+	cfg := core.Config{MaxConnsPerLibrarian: maxConns, Metrics: reg, SlowQueryThreshold: *slowQuery}
+	if *cache > 0 {
+		cfg.Cache = &core.CacheConfig{MaxEntries: *cache, MaxBytes: *cacheBytes}
+	}
+	if *inflight > 0 {
+		cfg.Admission = &core.AdmissionConfig{MaxInFlight: *inflight, MaxQueue: *queue, MaxWait: *queueWait}
+	}
+	report, err := drive(dialer, names, qmode, queries, *clients, *n, *k, *group, opts, cfg)
 	if err != nil {
 		return err
 	}
@@ -163,6 +175,12 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "lib failures    %10d\n", report.libFailures)
 		fmt.Fprintf(w, "retried calls   %10d\n", report.retried)
 	}
+	if *cache > 0 {
+		fmt.Fprintf(w, "cache hits      %10d of %d completed queries\n", report.cacheHits, report.completed)
+	}
+	if *inflight > 0 {
+		fmt.Fprintf(w, "shed            %10d queries (overloaded; not counted in latency)\n", report.shed)
+	}
 	return nil
 }
 
@@ -177,6 +195,10 @@ type report struct {
 	degraded    int
 	libFailures int
 	retried     int
+	// Overload-protection tallies: queries served from the result cache and
+	// queries shed by admission control.
+	cacheHits int
+	shed      int
 }
 
 // drive runs the benchmark: one pool is set up once (Hello + whatever the
@@ -214,7 +236,7 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	}()
 
 	latencies := make([]time.Duration, 0, n)
-	var degraded, libFailures, retried int
+	var degraded, libFailures, retried, cacheHits, shed int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -228,6 +250,15 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 				qStart := time.Now()
 				res, err := sess.Query(mode, queries[i%len(queries)], k, opts)
 				if err != nil {
+					// A shed query is the admission control working as
+					// intended, not a run-ending failure: tally it and move
+					// on so the report shows survivable load, not a crash.
+					if errors.Is(err, core.ErrOverloaded) {
+						mu.Lock()
+						shed++
+						mu.Unlock()
+						continue
+					}
 					errs <- fmt.Errorf("query %d: %w", i, err)
 					return
 				}
@@ -236,6 +267,9 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 				if res.Trace.Degraded {
 					degraded++
 					libFailures += len(res.Trace.Failures)
+				}
+				if res.Trace.CacheHit {
+					cacheHits++
 				}
 				retried += res.Trace.RetryAttempts()
 				mu.Unlock()
@@ -254,7 +288,8 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep := report{completed: len(latencies), setupTrips: setupTrips, elapsed: elapsed,
-		degraded: degraded, libFailures: libFailures, retried: retried}
+		degraded: degraded, libFailures: libFailures, retried: retried,
+		cacheHits: cacheHits, shed: shed}
 	if elapsed > 0 {
 		rep.throughput = float64(len(latencies)) / elapsed.Seconds()
 	}

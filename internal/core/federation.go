@@ -54,7 +54,18 @@ type Federation struct {
 	vocab   atomic.Pointer[vocabState]
 	models  atomic.Pointer[modelSet]
 	central atomic.Pointer[GroupedIndex]
+
+	// epoch counts installations of central state (vocabulary, models,
+	// central index). The result cache stamps entries with it, so a setup
+	// re-run invalidates every answer computed under the old state without
+	// walking the cache.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the federation's setup epoch: it increases on every
+// SetupVocabulary / SetupModels / SetupCentralIndex installation. A cached
+// query answer is valid only for the epoch it was computed under.
+func (f *Federation) Epoch() uint64 { return f.epoch.Load() }
 
 // Librarians returns the librarian names in global-numbering order.
 func (f *Federation) Librarians() []string {
@@ -149,7 +160,22 @@ func (f *Federation) SetupCentralIndex(g *GroupedIndex) error {
 		return fmt.Errorf("core: grouped index covers %d docs, receptionist %d", g.totalDocs, f.totalDocs)
 	}
 	f.central.Store(g)
+	f.epoch.Add(1)
 	return nil
+}
+
+// installVocab publishes a freshly merged vocabulary and bumps the epoch so
+// cached CV/CI answers computed under the old statistics become stale.
+func (f *Federation) installVocab(vs *vocabState) {
+	f.vocab.Store(vs)
+	f.epoch.Add(1)
+}
+
+// installModels publishes the decompression models and bumps the epoch
+// (cached fetched text could otherwise outlive a model change).
+func (f *Federation) installModels(ms *modelSet) {
+	f.models.Store(ms)
+	f.epoch.Add(1)
 }
 
 // CentralIndex returns the installed grouped central index, or nil before

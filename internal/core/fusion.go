@@ -40,10 +40,28 @@ func (s MergeStrategy) String() string {
 	}
 }
 
+// effectiveMerge resolves the strategy a query actually applies: CN honours
+// Options.Merge (zero selects the paper's face-value merge); CV and CI
+// scores are already globally comparable, so Options.Merge is ignored and
+// they always collate at face value. The result cache keys on this resolved
+// value so option spellings that evaluate identically share an entry.
+func effectiveMerge(mode Mode, opts Options) MergeStrategy {
+	if mode != ModeCN {
+		return MergeFaceValue
+	}
+	if opts.Merge == 0 {
+		return MergeFaceValue
+	}
+	return opts.Merge
+}
+
 // fuse collates per-librarian answer lists (each already sorted by
 // decreasing local score) into a global top-k under the given strategy.
 // lists is keyed by librarian name; order supplies deterministic librarian
-// sequencing.
+// sequencing. The returned slice is freshly allocated at exactly its
+// length: it never shares a backing array with the per-librarian lists or
+// retains dropped candidates in hidden capacity, so callers (and the result
+// cache) may mutate or hold it freely.
 func fuse(strategy MergeStrategy, lists map[string][]Answer, order []string, k int) []Answer {
 	switch strategy {
 	case MergeRoundRobin:
@@ -69,7 +87,7 @@ func fuseFaceValue(lists map[string][]Answer, k int) []Answer {
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged
+	return clipAnswers(merged)
 }
 
 func fuseRoundRobin(lists map[string][]Answer, order []string, k int) []Answer {
@@ -90,7 +108,20 @@ func fuseRoundRobin(lists map[string][]Answer, order []string, k int) []Answer {
 			break
 		}
 	}
-	return merged
+	return clipAnswers(merged)
+}
+
+// clipAnswers re-allocates answers at exactly len(answers): truncation via
+// merged[:k] keeps the dropped candidates alive in hidden capacity, where a
+// caller's append would silently overwrite them — and, once results are
+// cached and shared, silently corrupt another caller's view.
+func clipAnswers(answers []Answer) []Answer {
+	if answers == nil || len(answers) == cap(answers) {
+		return answers
+	}
+	out := make([]Answer, len(answers))
+	copy(out, answers)
+	return out
 }
 
 // normalizeLists rescales each librarian's scores to [0,1] by min–max; a

@@ -111,6 +111,107 @@ func TestMergeStrategyString(t *testing.T) {
 	}
 }
 
+func TestFuseAllEmptyLists(t *testing.T) {
+	empty := map[string][]Answer{"A": nil, "B": {}, "C": nil}
+	for _, strategy := range []MergeStrategy{MergeFaceValue, MergeRoundRobin, MergeNormalized} {
+		if got := fuse(strategy, empty, []string{"A", "B", "C"}, 10); len(got) != 0 {
+			t.Fatalf("%v over empty lists returned %v", strategy, keysOf(got))
+		}
+		if got := fuse(strategy, map[string][]Answer{}, nil, 10); len(got) != 0 {
+			t.Fatalf("%v over no lists returned %v", strategy, keysOf(got))
+		}
+	}
+}
+
+func TestFuseKLargerThanTotal(t *testing.T) {
+	lists := map[string][]Answer{
+		"A": answerList("A", 0, 0.9, 0.3),
+		"B": answerList("B", 100, 0.7),
+	}
+	for _, strategy := range []MergeStrategy{MergeFaceValue, MergeRoundRobin, MergeNormalized} {
+		got := fuse(strategy, lists, []string{"A", "B"}, 50)
+		if len(got) != 3 {
+			t.Fatalf("%v with k=50 over 3 candidates returned %d", strategy, len(got))
+		}
+	}
+}
+
+// TestFuseNoHiddenCapacity pins the clipAnswers fix: a truncated merge must
+// not keep dropped candidates alive in spare capacity, where a caller's
+// append would resurrect (or a cache-sharing caller's append would corrupt)
+// them.
+func TestFuseNoHiddenCapacity(t *testing.T) {
+	lists := map[string][]Answer{
+		"A": answerList("A", 0, 0.9, 0.8, 0.7, 0.6, 0.5),
+		"B": answerList("B", 100, 0.95, 0.85, 0.75),
+	}
+	for _, strategy := range []MergeStrategy{MergeFaceValue, MergeRoundRobin, MergeNormalized} {
+		got := fuse(strategy, lists, []string{"A", "B"}, 3)
+		if len(got) != 3 {
+			t.Fatalf("%v returned %d answers, want 3", strategy, len(got))
+		}
+		if cap(got) != len(got) {
+			t.Fatalf("%v returned len %d cap %d: dropped candidates retained in hidden capacity",
+				strategy, len(got), cap(got))
+		}
+	}
+}
+
+// TestFuseConstantScoresDeterministic: when every candidate scores the same,
+// the winner set must not depend on Go's randomized map iteration order. 50
+// freshly built maps over 8 librarians must fuse identically.
+func TestFuseConstantScoresDeterministic(t *testing.T) {
+	names := []string{"L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7"}
+	build := func() map[string][]Answer {
+		lists := make(map[string][]Answer, len(names))
+		for i, name := range names {
+			lists[name] = answerList(name, uint32(i*100), 0.5, 0.5, 0.5)
+		}
+		return lists
+	}
+	for _, strategy := range []MergeStrategy{MergeFaceValue, MergeRoundRobin, MergeNormalized} {
+		want := keysOf(fuse(strategy, build(), names, 5))
+		for round := 0; round < 50; round++ {
+			got := keysOf(fuse(strategy, build(), names, 5))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v round %d: %v, want %v (map-order dependent)", strategy, round, got, want)
+			}
+		}
+	}
+}
+
+// TestNormalizeConstantScores: a list where min == max maps every score to
+// 1 rather than dividing by zero.
+func TestNormalizeConstantScores(t *testing.T) {
+	lists := normalizeLists(map[string][]Answer{
+		"A": answerList("A", 0, 3.0, 3.0, 3.0),
+	})
+	for i, a := range lists["A"] {
+		if a.Score != 1 {
+			t.Fatalf("constant-score answer %d normalised to %f, want 1", i, a.Score)
+		}
+	}
+}
+
+func TestEffectiveMerge(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		opts Options
+		want MergeStrategy
+	}{
+		{ModeCN, Options{}, MergeFaceValue},
+		{ModeCN, Options{Merge: MergeRoundRobin}, MergeRoundRobin},
+		{ModeCN, Options{Merge: MergeNormalized}, MergeNormalized},
+		{ModeCV, Options{Merge: MergeRoundRobin}, MergeFaceValue},
+		{ModeCI, Options{Merge: MergeNormalized}, MergeFaceValue},
+	}
+	for _, tc := range cases {
+		if got := effectiveMerge(tc.mode, tc.opts); got != tc.want {
+			t.Errorf("effectiveMerge(%v, Merge=%v) = %v, want %v", tc.mode, tc.opts.Merge, got, tc.want)
+		}
+	}
+}
+
 func TestCNWithFusionStrategies(t *testing.T) {
 	corpus, order := smallCorpus(t)
 	f := newFixture(t, corpus, order)

@@ -40,6 +40,24 @@ type Metrics struct {
 	connsIdle     *obs.Gauge
 	dirtyDiscards *obs.Counter
 
+	// Result-cache families: hits answered with zero librarian round trips,
+	// misses that fell through to the full pipeline, LRU evictions, and
+	// epoch invalidations (setup re-runs, librarian collection swaps).
+	cacheHits          *obs.Counter
+	cacheMisses        *obs.Counter
+	cacheEvictions     *obs.Counter
+	cacheInvalidations *obs.Counter
+	cacheEntries       *obs.Gauge
+	cacheBytes         *obs.Gauge
+
+	// Admission-control families: queries shed with ErrOverloaded, current
+	// in-flight and queued query counts, and the queue wait of admitted
+	// queries.
+	admissionShed       *obs.Counter
+	admissionInFlight   *obs.Gauge
+	admissionQueueDepth *obs.Gauge
+	admissionWait       *obs.Histogram
+
 	// central accounts the receptionist-side index work (CI group ranking).
 	central *search.Metrics
 }
@@ -83,6 +101,28 @@ func newMetrics(reg *obs.Registry) *Metrics {
 	m.dirtyDiscards = reg.Counter("teraphim_pool_dirty_discards_total",
 		"Connections discarded because their stream was interrupted mid-message.", "")
 
+	m.cacheHits = reg.Counter("teraphim_cache_hits_total",
+		"Queries answered from the result cache with zero librarian round trips.", "")
+	m.cacheMisses = reg.Counter("teraphim_cache_misses_total",
+		"Cacheable queries that fell through to the full pipeline.", "")
+	m.cacheEvictions = reg.Counter("teraphim_cache_evictions_total",
+		"Cached results evicted by the entry or byte bound (LRU order).", "")
+	m.cacheInvalidations = reg.Counter("teraphim_cache_invalidations_total",
+		"Epoch invalidations: setup re-runs, librarian collection swaps, and stale entries dropped on lookup.", "")
+	m.cacheEntries = reg.Gauge("teraphim_cache_entries",
+		"Results currently held by the cache.", "")
+	m.cacheBytes = reg.Gauge("teraphim_cache_bytes",
+		"Approximate resident size of the cached results.", "")
+
+	m.admissionShed = reg.Counter("teraphim_admission_shed_total",
+		"Queries shed with ErrOverloaded: in-flight limit reached and the queue was full, timed out, or the deadline could not be met.", "")
+	m.admissionInFlight = reg.Gauge("teraphim_admission_in_flight",
+		"Queries currently admitted and evaluating.", "")
+	m.admissionQueueDepth = reg.Gauge("teraphim_admission_queue_depth",
+		"Queries waiting for an in-flight slot.", "")
+	m.admissionWait = reg.Histogram("teraphim_admission_wait_seconds",
+		"Queue wait of queries that were eventually admitted.", "", nil)
+
 	m.central = search.NewMetrics(reg, `component="central"`)
 	return m
 }
@@ -106,6 +146,11 @@ func (p *Pool) observeQuery(mode Mode, query string, dur time.Duration, res *Res
 	} else {
 		mi.queries.Inc()
 		mi.duration.ObserveDuration(dur)
+	}
+	if t.CacheHit {
+		// A hit did no analyze/ship/wait/merge work; folding its zeros into
+		// the stage histograms would fake a faster pipeline.
+		return
 	}
 	mi.retries.Add(uint64(t.RetryAttempts()))
 	mi.failures.Add(uint64(len(t.Failures)))

@@ -22,11 +22,7 @@ func (e *exec) queryCN(res *Result, query string, k int, opts Options) error {
 	if err != nil {
 		return err
 	}
-	strategy := opts.Merge
-	if strategy == 0 {
-		strategy = MergeFaceValue
-	}
-	return e.mergeWith(res, replies, k, strategy)
+	return e.mergeWith(res, replies, k, effectiveMerge(ModeCN, opts))
 }
 
 // queryCV implements Central Vocabulary: the receptionist computes global

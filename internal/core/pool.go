@@ -55,6 +55,11 @@ type Pool struct {
 	slowThreshold time.Duration
 	slowLog       io.Writer
 
+	// cache and admission are nil unless configured — both are opt-in
+	// overload protection, checked on the query path only.
+	cache     *resultCache
+	admission *admission
+
 	mu     sync.Mutex
 	closed bool
 	idle   map[string][]net.Conn
@@ -101,6 +106,16 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 		slowLog:       slowLog,
 		idle:          make(map[string][]net.Conn, len(names)),
 		leased:        make(map[net.Conn]string),
+	}
+	if cfg.Cache != nil {
+		p.cache = newResultCache(*cfg.Cache, p.metrics)
+	}
+	if cfg.Admission != nil {
+		adm, err := newAdmission(*cfg.Admission, p.done, p.metrics)
+		if err != nil {
+			return nil, err
+		}
+		p.admission = adm
 	}
 	for _, name := range names {
 		if _, dup := fed.byName[name]; dup {
@@ -167,6 +182,27 @@ func (p *Pool) Metrics() *Metrics { return p.metrics }
 // Boolean leases a session for a single Boolean query.
 func (p *Pool) Boolean(expr string) (*BooleanResult, error) {
 	return p.Session().Boolean(expr)
+}
+
+// InvalidateCache drops every cached result in O(1). Wire it to
+// UpdatableLibrarian.OnUpdate (or call it after any out-of-band collection
+// change) so answers computed over the old subcollections are never served
+// again; setup exchanges (vocabulary, models, central index) invalidate
+// automatically through the federation epoch. A no-op when no cache is
+// configured.
+func (p *Pool) InvalidateCache() {
+	if p.cache != nil {
+		p.cache.invalidate()
+	}
+}
+
+// CacheStats snapshots the result cache's counters. ok is false when no
+// cache is configured.
+func (p *Pool) CacheStats() (stats CacheStats, ok bool) {
+	if p.cache == nil {
+		return CacheStats{}, false
+	}
+	return p.cache.stats(), true
 }
 
 // PooledConn is one leased connection to one librarian. It is owned by a
@@ -376,7 +412,7 @@ func (p *Pool) SetupVocabulary() (Trace, error) {
 		}
 		vs.perLib[i] = local
 	}
-	p.fed.vocab.Store(vs)
+	p.fed.installVocab(vs)
 	return trace, nil
 }
 
@@ -404,7 +440,7 @@ func (p *Pool) SetupModels() (Trace, error) {
 		}
 		ms[li.name] = model
 	}
-	p.fed.models.Store(&ms)
+	p.fed.installModels(&ms)
 	return trace, nil
 }
 

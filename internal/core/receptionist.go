@@ -98,6 +98,17 @@ type Config struct {
 	// SlowQueryLog receives slow-query lines; nil selects os.Stderr. The
 	// writer must be safe for concurrent use (os.Stderr and log writers are).
 	SlowQueryLog io.Writer
+	// Cache enables the receptionist result cache: repeated queries (same
+	// mode, normalized text, k and merge strategy) are answered from memory
+	// with zero librarian round trips. Nil disables caching. Entries are
+	// invalidated automatically when setup state changes and explicitly via
+	// InvalidateCache (wire it to UpdatableLibrarian.OnUpdate).
+	Cache *CacheConfig
+	// Admission bounds concurrent query evaluation: beyond MaxInFlight
+	// running queries and MaxQueue waiting ones, requests shed immediately
+	// with ErrOverloaded instead of queueing past their deadlines. Nil
+	// disables admission control.
+	Admission *AdmissionConfig
 }
 
 // Receptionist brokers queries to a fixed set of librarians. It is a thin
@@ -208,6 +219,13 @@ func (r *Receptionist) QueryContext(ctx context.Context, mode Mode, query string
 
 // Metrics returns the observability surface of the underlying pool.
 func (r *Receptionist) Metrics() *Metrics { return r.pool.Metrics() }
+
+// InvalidateCache drops every cached result; see Pool.InvalidateCache.
+func (r *Receptionist) InvalidateCache() { r.pool.InvalidateCache() }
+
+// CacheStats snapshots the result cache's counters; ok is false when no
+// cache is configured.
+func (r *Receptionist) CacheStats() (stats CacheStats, ok bool) { return r.pool.CacheStats() }
 
 // Boolean evaluates expr at every librarian and unions the result sets.
 func (r *Receptionist) Boolean(expr string) (*BooleanResult, error) {

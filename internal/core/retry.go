@@ -37,14 +37,30 @@ func policyFor(opts Options) callPolicy {
 	if p.retries < 0 {
 		p.retries = 0
 	}
+	// Negative durations are treated like zero, exactly as negative retry
+	// counts are. A negative timeout would otherwise set a conn deadline in
+	// the past and fail every exchange instantly — counted as librarian
+	// failures when the librarians were never even asked.
+	if p.timeout < 0 {
+		p.timeout = 0
+	}
+	if p.backoff < 0 {
+		p.backoff = 0
+	}
 	return p
 }
 
 // backoffDelay is the capped exponential wait before retry number n (1 for
-// the first retry). A zero base retries immediately.
+// the first retry). A zero base retries immediately. The base is clamped to
+// the cap before any doubling: a near-MaxInt64 base would otherwise
+// overflow d *= 2 to a negative duration — i.e. no wait at all — before the
+// cap check ever saw it.
 func backoffDelay(base time.Duration, n int) time.Duration {
 	if base <= 0 || n < 1 {
 		return 0
+	}
+	if base >= maxBackoff {
+		return maxBackoff
 	}
 	d := base
 	for i := 1; i < n; i++ {
@@ -52,9 +68,6 @@ func backoffDelay(base time.Duration, n int) time.Duration {
 		if d >= maxBackoff {
 			return maxBackoff
 		}
-	}
-	if d > maxBackoff {
-		d = maxBackoff
 	}
 	return d
 }

@@ -41,10 +41,30 @@ func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k i
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	// The cache is consulted before admission control: a hit costs no
+	// librarian work, so serving it even when the pool is saturated is
+	// exactly the overload relief the cache exists for.
+	var key cacheKey
+	var epoch uint64
+	cache := s.pool.cache
+	if cache != nil {
+		key = cache.keyFor(s.fed, mode, query, k, opts)
+		epoch = s.fed.Epoch() + cache.gen.Load()
+		if res, ok := cache.get(key, epoch); ok {
+			s.pool.observeQuery(mode, query, time.Since(start), res, nil)
+			return res, nil
+		}
+	}
+	if adm := s.pool.admission; adm != nil {
+		if err := adm.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer adm.release()
+	}
 	e := &exec{ctx: ctx, fed: s.fed, pool: s.pool, policy: policyFor(opts)}
 	res := &Result{}
 	res.Trace.Mode = mode
-	start := time.Now()
 	var err error
 	switch mode {
 	case ModeCN:
@@ -62,6 +82,12 @@ func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k i
 	s.pool.observeQuery(mode, query, time.Since(start), res, err)
 	if err != nil {
 		return nil, err
+	}
+	if cache != nil && !res.Trace.Degraded {
+		// Stamped with the epoch read before evaluation: if setup state
+		// changed underneath this query, the stamp is already stale and the
+		// entry dies on its first lookup rather than serving a mixed answer.
+		cache.put(key, epoch, res)
 	}
 	return res, nil
 }

@@ -142,6 +142,11 @@ type Trace struct {
 	// Degraded marks a query answered from a surviving subset of librarians
 	// (some Failures occurred but Options allowed a partial result).
 	Degraded bool
+	// CacheHit marks a query answered from the receptionist result cache:
+	// zero librarian exchanges, zero bytes moved — Calls, Stages and the
+	// other cost fields describe this (free) evaluation, not the original
+	// one that populated the cache.
+	CacheHit bool
 }
 
 // RoundTrips counts request/response exchanges in the given phase (all

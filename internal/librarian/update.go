@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"teraphim/internal/protocol"
 	"teraphim/internal/search"
@@ -31,8 +32,14 @@ type UpdatableLibrarian struct {
 	analyzer *textproc.Analyzer
 	skip     int
 
-	mu  sync.RWMutex
-	lib *Librarian
+	// epoch counts collection swaps; receptionist-side caches compare it
+	// (or subscribe via OnUpdate) to drop answers computed over the old
+	// collection.
+	epoch atomic.Uint64
+
+	mu       sync.RWMutex
+	lib      *Librarian
+	onUpdate []func()
 }
 
 // NewUpdatable builds the initial collection and returns the updatable
@@ -51,6 +58,27 @@ func NewUpdatable(name string, docs []store.Document, opts BuildOptions) (*Updat
 
 // Name returns the collection name.
 func (u *UpdatableLibrarian) Name() string { return u.name }
+
+// Epoch returns the number of collection swaps since construction. Any
+// receptionist-side state derived from this librarian (cached results,
+// merged vocabularies) is stale once the epoch it was read under differs
+// from the current one.
+func (u *UpdatableLibrarian) Epoch() uint64 { return u.epoch.Load() }
+
+// OnUpdate registers fn to run after every successful collection swap
+// (Update or Append), in registration order, on the updating goroutine.
+// This is the cache-invalidation hook: wire a receptionist's
+// InvalidateCache here so cached answers never outlive the collection they
+// were computed from. fn must not block for long and must be safe to call
+// concurrently with queries.
+func (u *UpdatableLibrarian) OnUpdate(fn func()) {
+	if fn == nil {
+		return
+	}
+	u.mu.Lock()
+	u.onUpdate = append(u.onUpdate, fn)
+	u.mu.Unlock()
+}
 
 // Current returns the serving librarian snapshot. The snapshot is immutable
 // and remains valid after later updates.
@@ -73,7 +101,12 @@ func (u *UpdatableLibrarian) Update(docs []store.Document) error {
 	}
 	u.mu.Lock()
 	u.lib = lib
+	callbacks := append([]func(){}, u.onUpdate...)
 	u.mu.Unlock()
+	u.epoch.Add(1)
+	for _, fn := range callbacks {
+		fn()
+	}
 	return nil
 }
 

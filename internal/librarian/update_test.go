@@ -79,6 +79,48 @@ func TestAppendKeepsExistingDocs(t *testing.T) {
 	}
 }
 
+// TestEpochAndOnUpdate pins the cache-invalidation signal: every successful
+// swap bumps the epoch and then fires the registered callbacks in order,
+// after the new collection is already serving.
+func TestEpochAndOnUpdate(t *testing.T) {
+	u := newUpdatable(t)
+	if u.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d, want 0", u.Epoch())
+	}
+	var fired []string
+	u.OnUpdate(func() {
+		// The callback runs after the swap: the new collection is visible.
+		ranking, err := u.Engine().Rank("swapped", 5, nil)
+		if err != nil || len(ranking.Results) == 0 {
+			t.Errorf("callback ran before the swap: %v, %v", ranking.Results, err)
+		}
+		fired = append(fired, "first")
+	})
+	u.OnUpdate(nil) // must be ignored, not panic later
+	u.OnUpdate(func() { fired = append(fired, "second") })
+
+	if err := u.Update([]store.Document{{Title: "n0", Text: "swapped collection"}}); err != nil {
+		t.Fatal(err)
+	}
+	if u.Epoch() != 1 {
+		t.Fatalf("epoch after update = %d, want 1", u.Epoch())
+	}
+	if len(fired) != 2 || fired[0] != "first" || fired[1] != "second" {
+		t.Fatalf("callbacks fired = %v, want [first second] in order", fired)
+	}
+
+	// Append goes through Update, so it signals too.
+	if err := u.Append([]store.Document{{Title: "n1", Text: "swapped again"}}); err != nil {
+		t.Fatal(err)
+	}
+	if u.Epoch() != 2 {
+		t.Fatalf("epoch after append = %d, want 2", u.Epoch())
+	}
+	if len(fired) != 4 {
+		t.Fatalf("callbacks fired %d times after two swaps, want 4", len(fired))
+	}
+}
+
 // TestServeAcrossUpdate drives a wire session through an update: requests
 // before the swap see the old collection, requests after see the new one,
 // on the same connection.

@@ -41,6 +41,19 @@
 // recipe and the metric name table. Queries accept a context through
 // QueryContext (on Receptionist, Pool and Session): cancellation aborts
 // slot waits, retry backoffs and in-flight reads promptly.
+//
+// # Overload protection
+//
+// Two opt-in mechanisms guard a receptionist under heavy concurrent
+// traffic. ReceptionistConfig.Cache enables an LRU result cache keyed by
+// (mode, normalized query, k, merge strategy): a repeat query is answered
+// from memory with zero librarian round trips, and every entry is
+// invalidated when setup state changes or InvalidateCache runs (wire it to
+// UpdatableLibrarian.OnUpdate so cached answers never outlive the
+// collection they were computed from). ReceptionistConfig.Admission bounds
+// concurrent evaluation: beyond MaxInFlight running queries and MaxQueue
+// waiters, requests fail fast with ErrOverloaded instead of stacking up
+// until every deadline blows.
 package teraphim
 
 import (
@@ -72,6 +85,16 @@ type (
 	Receptionist = core.Receptionist
 	// ReceptionistConfig configures ConnectReceptionist.
 	ReceptionistConfig = core.Config
+	// CacheConfig enables and sizes the receptionist result cache
+	// (ReceptionistConfig.Cache): repeated queries are answered from memory
+	// with zero librarian round trips, invalidated by setup changes and
+	// Receptionist.InvalidateCache / Pool.InvalidateCache.
+	CacheConfig = core.CacheConfig
+	// CacheStats snapshots the result cache's hit/miss/eviction counters.
+	CacheStats = core.CacheStats
+	// AdmissionConfig bounds concurrent query evaluation
+	// (ReceptionistConfig.Admission); excess load sheds with ErrOverloaded.
+	AdmissionConfig = core.AdmissionConfig
 	// Federation is the shared, immutable-after-setup state of a
 	// distributed collection: global numbering, merged vocabulary,
 	// decompression models and the CI central index.
@@ -140,6 +163,11 @@ const (
 
 // BooleanResult is the union result of a distributed Boolean query.
 type BooleanResult = core.BooleanResult
+
+// ErrOverloaded is returned by the query path when admission control sheds
+// a request (in-flight limit reached, queue full or deadline unmeetable).
+// Test with errors.Is; a shed query consumed no librarian resources.
+var ErrOverloaded = core.ErrOverloaded
 
 // Observability types.
 type (
