@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke verify
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke bench-select bench-select-smoke verify
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ bench-cache:
 bench-cache-smoke:
 	$(GO) test -run='^$$' -bench=CacheThroughput -benchtime=0.05s .
 
+# Regenerate BENCH_select.json: top-R collection selection swept over fleet
+# size and R, reporting throughput, mean fan-out and overlap@10 against full
+# fan-out (the writer is gated on SELECT_BENCH_RECORD).
+bench-select:
+	SELECT_BENCH_RECORD=1 $(GO) test -run='^$$' -bench=SelectThroughput .
+
+# Short form for verify: exercises every selection sweep cell without
+# touching the recorded BENCH_select.json numbers.
+bench-select-smoke:
+	$(GO) test -run='^$$' -bench=SelectThroughput -benchtime=0.05s .
+
 # Full search-kernel sweep with allocation reporting; regenerates the
 # "current" section of BENCH_search.json (the "baseline" section records
 # the pre-kernel evaluator and is preserved).
@@ -53,5 +64,5 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SearchKernel -benchmem -benchtime=0.05s .
 
-verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke
+verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke bench-select-smoke
 	@echo "verify: OK"

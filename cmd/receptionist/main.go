@@ -55,6 +55,7 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	inflight := fs.Int("inflight", 0, "admission control: max concurrently evaluating queries (0 = unlimited)")
 	queue := fs.Int("queue", 0, "with -inflight, max queries waiting for admission before shedding")
 	queueWait := fs.Duration("queuewait", 0, "with -inflight, max time a query waits for admission (0 = until deadline)")
+	topR := fs.Int("topr", 0, "collection selection: contact only the R librarians ranked most promising per query (0 = full fan-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,12 +118,18 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	fmt.Fprintf(w, "connected to %d librarians, %d documents total\n",
 		len(recep.Librarians()), recep.TotalDocs())
 
-	if qmode == core.ModeCV {
+	// Selection ranks librarians from the merged vocabulary statistics, so
+	// -topr needs SetupVocabulary even in CN mode.
+	if qmode == core.ModeCV || *topR > 0 {
 		if _, err := recep.SetupVocabulary(); err != nil {
 			return err
 		}
 		terms, bytes := recep.VocabularySize()
 		fmt.Fprintf(w, "merged vocabulary: %d terms (%d bytes)\n", terms, bytes)
+	}
+	if *topR > 0 {
+		fmt.Fprintf(w, "collection selection on: top %d of %d librarians per query\n",
+			*topR, len(recep.Librarians()))
 	}
 	if *fetch && *compressed {
 		if _, err := recep.SetupModels(); err != nil {
@@ -164,6 +171,7 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 			Backoff:            *backoff,
 			AllowPartial:       *partial,
 			MinLibrarians:      *minLibs,
+			TopR:               *topR,
 		})
 		if err != nil {
 			fmt.Fprintf(w, "error: %v\n", err)
@@ -172,6 +180,10 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 		}
 		if res.Trace.CacheHit {
 			fmt.Fprintf(w, "%d answers (cached; no librarian round trips)\n", len(res.Answers))
+		} else if res.Trace.LibrariansSelected > 0 {
+			fmt.Fprintf(w, "%d answers from the %d selected librarians (%d candidates merged, %d bytes moved)\n",
+				len(res.Answers), res.Trace.LibrariansSelected,
+				res.Trace.MergeCandidates, res.Trace.BytesTransferred(0))
 		} else {
 			fmt.Fprintf(w, "%d answers from %d librarians (%d candidates merged, %d bytes moved)\n",
 				len(res.Answers), res.Trace.LibrariansAsked,

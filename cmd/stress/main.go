@@ -67,6 +67,7 @@ func run(w io.Writer, args []string) error {
 	inflight := fs.Int("inflight", 0, "admission control: max concurrently evaluating queries (0 = unlimited)")
 	queue := fs.Int("queue", 0, "with -inflight, max queries waiting for admission before shedding")
 	queueWait := fs.Duration("queuewait", 0, "with -inflight, max time a query waits for admission (0 = until deadline)")
+	topR := fs.Int("topr", 0, "collection selection: contact only the R librarians ranked most promising per query (0 = full fan-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +121,7 @@ func run(w io.Writer, args []string) error {
 		Backoff:            *backoff,
 		AllowPartial:       *partial,
 		MinLibrarians:      *minLibs,
+		TopR:               *topR,
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -170,6 +172,10 @@ func run(w io.Writer, args []string) error {
 	fmt.Fprintf(w, "latency p50     %10.2fms\n", ms(report.p50))
 	fmt.Fprintf(w, "latency p90     %10.2fms\n", ms(report.p90))
 	fmt.Fprintf(w, "latency p99     %10.2fms\n", ms(report.p99))
+	if *topR > 0 && report.completed > 0 {
+		fmt.Fprintf(w, "libs asked      %10.2f mean per query (top-R selection, R=%d of %d)\n",
+			float64(report.askedSum)/float64(report.completed), *topR, len(names))
+	}
 	if report.degraded > 0 || report.retried > 0 {
 		fmt.Fprintf(w, "degraded        %10d queries (librarian failures tolerated)\n", report.degraded)
 		fmt.Fprintf(w, "lib failures    %10d\n", report.libFailures)
@@ -199,6 +205,9 @@ type report struct {
 	// queries shed by admission control.
 	cacheHits int
 	shed      int
+	// Fan-out width: librarians contacted, summed over completed queries
+	// (cache hits contact none and drag the mean down, as they should).
+	askedSum int
 }
 
 // drive runs the benchmark: one pool is set up once (Hello + whatever the
@@ -212,7 +221,9 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	}
 	defer pool.Close()
 	setupTrips := len(names) // the Hello exchange
-	if mode == core.ModeCV || mode == core.ModeCI {
+	// Top-R selection ranks librarians from the merged vocabulary
+	// statistics, so it needs SetupVocabulary even under CN.
+	if mode == core.ModeCV || mode == core.ModeCI || opts.TopR > 0 {
 		trace, err := pool.SetupVocabulary()
 		if err != nil {
 			return report{}, err
@@ -236,7 +247,7 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	}()
 
 	latencies := make([]time.Duration, 0, n)
-	var degraded, libFailures, retried, cacheHits, shed int
+	var degraded, libFailures, retried, cacheHits, shed, askedSum int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -272,6 +283,7 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 					cacheHits++
 				}
 				retried += res.Trace.RetryAttempts()
+				askedSum += res.Trace.LibrariansAsked
 				mu.Unlock()
 			}
 			errs <- nil
@@ -289,7 +301,7 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep := report{completed: len(latencies), setupTrips: setupTrips, elapsed: elapsed,
 		degraded: degraded, libFailures: libFailures, retried: retried,
-		cacheHits: cacheHits, shed: shed}
+		cacheHits: cacheHits, shed: shed, askedSum: askedSum}
 	if elapsed > 0 {
 		rep.throughput = float64(len(latencies)) / elapsed.Seconds()
 	}

@@ -10,6 +10,11 @@
 // much of the full-fleet answer quality survives at each n — together with
 // the work saved.
 //
+// The library now does this natively: Options.TopR applies CORI-style
+// selection inside the receptionist (see the README's "Collection
+// selection" section). This example keeps the hand-rolled client-side
+// variant to show the mechanics.
+//
 //	go run ./examples/selection
 package main
 

@@ -55,9 +55,21 @@ type CacheConfig struct {
 // CacheStats is a point-in-time snapshot of the result cache's counters,
 // mirroring the teraphim_cache_* metric families.
 type CacheStats struct {
-	Hits          uint64
-	Misses        uint64
-	Evictions     uint64
+	// Hits counts queries answered from the cache; Misses counts lookups
+	// that fell through to the full pipeline (including lookups that found
+	// only a stale entry).
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries removed individually: LRU/byte-bound
+	// evictions plus stale entries dropped lazily when a lookup finds their
+	// epoch stamp out of date.
+	Evictions uint64
+	// Invalidations counts invalidation events — one per InvalidateCache
+	// call — never per entry, so the counter moves the same whether the
+	// cache held a thousand entries or none. Setup re-runs invalidate
+	// through the federation epoch without an explicit event here; in both
+	// cases the stale entries themselves surface in Evictions as lookups
+	// lazily drop them.
 	Invalidations uint64
 	Entries       int
 	Bytes         int64
@@ -65,10 +77,13 @@ type CacheStats struct {
 
 // cacheKey identifies one cacheable query. The query text is normalized
 // through the federation's analyzer (the same pipeline every librarian
-// applies), so "Alpha, Federal!" and "alpha federal" share an entry. KPrime
-// and Fetch participate because they change the answer (candidate set and
-// document text respectively); the fault-tolerance knobs do not, because a
-// successful non-degraded result is the same under any of them.
+// applies), so "Alpha, Federal!" and "alpha federal" share an entry. KPrime,
+// Fetch and TopR participate because they change the answer (candidate set,
+// document text, and fan-out width respectively); the fault-tolerance knobs
+// do not, because a successful non-degraded result is the same under any of
+// them. The merge strategy and topR stored here are the *resolved* values
+// (validated, defaulted, clamped), so option spellings that evaluate
+// identically share an entry.
 type cacheKey struct {
 	mode   Mode
 	query  string
@@ -76,6 +91,7 @@ type cacheKey struct {
 	merge  MergeStrategy
 	kPrime int
 	fetch  bool
+	topR   int
 }
 
 // cacheEntry is one stored result plus its LRU bookkeeping.
@@ -134,17 +150,19 @@ func newResultCache(cfg CacheConfig, m *Metrics) *resultCache {
 	}
 }
 
-// keyFor builds the cache key for one query. Every ranked query is
-// cacheable to look up — the fault-tolerance options don't participate in
-// the key because degraded results are never stored, so whatever a hit
-// returns is a complete answer under any policy.
-func (c *resultCache) keyFor(fed *Federation, mode Mode, query string, k int, opts Options) cacheKey {
+// keyFor builds the cache key for one query from its already-resolved merge
+// strategy and top-R (the session validates and clamps both before any
+// lookup). Every ranked query is cacheable to look up — the fault-tolerance
+// options don't participate in the key because degraded results are never
+// stored, so whatever a hit returns is a complete answer under any policy.
+func (c *resultCache) keyFor(fed *Federation, mode Mode, query string, k int, merge MergeStrategy, topR int, opts Options) cacheKey {
 	key := cacheKey{
 		mode:  mode,
 		query: strings.Join(fed.analyzer.Terms(nil, query), " "),
 		k:     k,
-		merge: effectiveMerge(mode, opts),
+		merge: merge,
 		fetch: opts.Fetch,
+		topR:  topR,
 	}
 	if mode == ModeCI {
 		key.kPrime = opts.KPrime
@@ -156,8 +174,9 @@ func (c *resultCache) keyFor(fed *Federation, mode Mode, query string, k int, op
 }
 
 // get returns a defensive copy of the entry for key at the given epoch. An
-// entry stored under an older epoch counts as an invalidation (and is
-// removed), not a plain miss.
+// entry stored under an older epoch is removed and counted as an eviction
+// (the invalidations counter records invalidation *events*, not the entries
+// they doom); the lookup itself is a miss either way.
 func (c *resultCache) get(key cacheKey, epoch uint64) (*Result, bool) {
 	c.mu.Lock()
 	el, ok := c.byKey[key]
@@ -169,9 +188,15 @@ func (c *resultCache) get(key cacheKey, epoch uint64) (*Result, bool) {
 	e := el.Value.(*cacheEntry)
 	if e.epoch != epoch {
 		c.removeLocked(el)
+		entries, bytes := c.lru.Len(), c.bytes
 		c.mu.Unlock()
-		c.invalidations.Inc()
+		c.evictions.Inc()
 		c.misses.Inc()
+		// The removal must reach the gauges too: /metrics and CacheStats
+		// would otherwise keep reporting entries (and bytes) that no longer
+		// exist until the next put happened to refresh them.
+		c.entries.Set(int64(entries))
+		c.sizeBytes.Set(bytes)
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
@@ -233,7 +258,8 @@ func (c *resultCache) removeLocked(el *list.Element) {
 // generation: stamps no longer match, so each entry dies lazily on its next
 // lookup (or by LRU eviction). This is the hook the updatable-librarian
 // path uses — a collection swap at any librarian makes every cached answer
-// suspect.
+// suspect. The counter records the *event* (exactly once, even on an empty
+// cache); the doomed entries show up in Evictions as lookups drop them.
 func (c *resultCache) invalidate() {
 	c.gen.Add(1)
 	c.invalidations.Inc()

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"net"
 	"sync/atomic"
 	"testing"
 
 	"teraphim/internal/librarian"
+	"teraphim/internal/obs"
 	"teraphim/internal/simnet"
 	"teraphim/internal/store"
 )
@@ -523,4 +525,122 @@ func TestCacheStatsWithoutCache(t *testing.T) {
 		t.Fatal("CacheStats ok=true without a cache")
 	}
 	pf.pool.InvalidateCache() // must not panic
+}
+
+// unitCache builds a bare resultCache with private metrics, for regression
+// tests on accounting paths that end-to-end traffic masks (a stale get on
+// the query path is immediately followed by a put that refreshes gauges).
+func unitCache(cfg CacheConfig) (*resultCache, *Metrics) {
+	m := newMetrics(obs.NewRegistry())
+	return newResultCache(cfg, m), m
+}
+
+// fakeResult builds a small result for direct put/get exercises.
+func fakeResult(n int) *Result {
+	res := &Result{}
+	for i := 0; i < n; i++ {
+		res.Answers = append(res.Answers, Answer{
+			Librarian: "A", LocalDoc: uint32(i), GlobalDoc: uint32(i), Score: float64(n - i),
+		})
+	}
+	return res
+}
+
+// TestCacheGaugesTrackStaleRemoval is the regression test for the stale-get
+// accounting bug: dropping an epoch-stale entry on lookup must move the
+// entries/bytes gauges exactly like any other removal, so /metrics and
+// CacheStats never disagree about what the cache holds.
+func TestCacheGaugesTrackStaleRemoval(t *testing.T) {
+	c, m := unitCache(CacheConfig{})
+	keyA := cacheKey{mode: ModeCV, query: "alpha", k: 10}
+	keyB := cacheKey{mode: ModeCV, query: "beta", k: 10}
+	c.put(keyA, 1, fakeResult(3))
+	c.put(keyB, 1, fakeResult(2))
+	if got := m.cacheEntries.Value(); got != 2 {
+		t.Fatalf("entries gauge after 2 puts = %d, want 2", got)
+	}
+
+	// Epoch churn: both entries are now stale; each lookup drops one.
+	for _, key := range []cacheKey{keyA, keyB} {
+		if _, ok := c.get(key, 2); ok {
+			t.Fatalf("stale entry %v served as a hit", key)
+		}
+		stats := c.stats()
+		if got := m.cacheEntries.Value(); got != int64(stats.Entries) {
+			t.Fatalf("entries gauge = %d, stats = %d: stale removal missed the gauge", got, stats.Entries)
+		}
+		if got := m.cacheBytes.Value(); got != stats.Bytes {
+			t.Fatalf("bytes gauge = %d, stats = %d: stale removal missed the gauge", got, stats.Bytes)
+		}
+	}
+	if got := m.cacheEntries.Value(); got != 0 {
+		t.Fatalf("entries gauge after full churn = %d, want 0", got)
+	}
+	if got := m.cacheBytes.Value(); got != 0 {
+		t.Fatalf("bytes gauge after full churn = %d, want 0", got)
+	}
+}
+
+// TestCacheInvalidationTaxonomy pins the counter semantics: Invalidations
+// counts events (one per invalidate call, even on an empty cache), while
+// entries dropped for staleness — lazily, on lookup — count as Evictions.
+func TestCacheInvalidationTaxonomy(t *testing.T) {
+	c, _ := unitCache(CacheConfig{})
+
+	// An invalidation of an empty cache is still exactly one event.
+	c.invalidate()
+	if s := c.stats(); s.Invalidations != 1 || s.Evictions != 0 {
+		t.Fatalf("empty-cache invalidate: invalidations=%d evictions=%d, want 1/0",
+			s.Invalidations, s.Evictions)
+	}
+
+	// Three entries doomed by one more event: the event counter moves by
+	// one, the three lazy removals land in Evictions.
+	keys := []cacheKey{
+		{mode: ModeCN, query: "a", k: 5},
+		{mode: ModeCN, query: "b", k: 5},
+		{mode: ModeCN, query: "c", k: 5},
+	}
+	for _, key := range keys {
+		c.put(key, 7, fakeResult(1))
+	}
+	c.invalidate()
+	for _, key := range keys {
+		if _, ok := c.get(key, 8); ok {
+			t.Fatalf("stale entry %v served as a hit", key)
+		}
+	}
+	s := c.stats()
+	if s.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2 (one per event, never per entry)", s.Invalidations)
+	}
+	if s.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3 (one per lazily dropped stale entry)", s.Evictions)
+	}
+	if s.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (a stale lookup is still a miss)", s.Misses)
+	}
+}
+
+// TestQueryRejectsUnknownMerge is the end-to-end half of the unknown-merge
+// fix: an out-of-range Options.Merge fails the query with the typed error in
+// every mode — before any librarian work and before any cache write.
+func TestQueryRejectsUnknownMerge(t *testing.T) {
+	cf := newCacheFixture(t, Config{Cache: &CacheConfig{}})
+	if _, err := cf.pool.SetupVocabulary(); err != nil {
+		t.Fatal(err)
+	}
+	before := cf.wire.writes.Load()
+	for _, mode := range []Mode{ModeCN, ModeCV} {
+		_, err := cf.pool.Query(mode, "alpha", 5, Options{Merge: MergeStrategy(42)})
+		if !errors.Is(err, ErrUnknownMergeStrategy) {
+			t.Fatalf("%v query with Merge=42: err = %v, want ErrUnknownMergeStrategy", mode, err)
+		}
+	}
+	if after := cf.wire.writes.Load(); after != before {
+		t.Fatalf("rejected queries still wrote %d frames to librarians", after-before)
+	}
+	if stats, _ := cf.pool.CacheStats(); stats.Entries != 0 || stats.Misses != 0 {
+		t.Fatalf("rejected queries touched the cache: %+v", stats)
+	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"teraphim/internal/huffman"
 	"teraphim/internal/protocol"
+	"teraphim/internal/selection"
 	"teraphim/internal/textproc"
 )
 
@@ -17,19 +18,23 @@ import (
 // Hello exchange and read-only thereafter, so sessions may share it freely.
 type libMeta struct {
 	name    string
+	idx     int // position in Federation.libs (global numbering order)
 	numDocs uint32
 	offset  uint32 // global id of this librarian's local doc 0
 	hello   *protocol.HelloReply
 }
 
 // vocabState is the outcome of one SetupVocabulary exchange: the merged
-// global term statistics plus each librarian's own vocabulary (indexed like
-// Federation.libs), used by CV collection selection. A fresh state is built
-// off to the side and installed atomically, so concurrent queries always see
-// either the previous complete vocabulary or the new one — never a mix.
+// global term statistics, each librarian's own vocabulary (indexed like
+// Federation.libs), and the collection-selection index derived from them.
+// A fresh state is built off to the side and installed atomically, so
+// concurrent queries always see either the previous complete vocabulary or
+// the new one — never a mix; selection scores and term weights therefore
+// always come from the same setup exchange.
 type vocabState struct {
 	globalFT map[string]uint32
 	perLib   []map[string]uint32 // term -> local f_t, per librarian
+	sel      *selection.Index    // CORI scores over perLib, for top-R fan-out
 }
 
 // modelSet maps librarian name to its document-decompression model.
@@ -130,6 +135,31 @@ func (f *Federation) GlobalWeights(query string) (map[string]float64, error) {
 		weights[t] = math.Log(float64(fqt)+1) * math.Log(n/float64(ft)+1)
 	}
 	return weights, nil
+}
+
+// SelectLibrarians ranks every librarian's likelihood of holding answers
+// for query (CORI over the per-librarian document frequencies gathered by
+// SetupVocabulary) and returns the names of the top r, in global-numbering
+// order. r <= 0 selects none; r >= the fleet size selects all (still
+// ranked, so callers can observe the full ordering cost). Requires
+// SetupVocabulary.
+//
+// This is the inspection surface of the Options.TopR query path: a query
+// with TopR = r is shipped to exactly the librarians returned here (CV
+// additionally intersects with its nonzero-vocabulary eligibility filter;
+// CI intersects with the librarians owning expanded candidates).
+func (f *Federation) SelectLibrarians(query string, r int) ([]string, error) {
+	vs := f.vocab.Load()
+	if vs == nil || vs.sel == nil {
+		return nil, ErrSelectionNeedsVocabulary
+	}
+	terms := f.analyzer.Terms(nil, query)
+	picked := vs.sel.Top(terms, nil, r)
+	names := make([]string, len(picked))
+	for i, idx := range picked {
+		names[i] = f.libs[idx].name
+	}
+	return names, nil
 }
 
 // VocabularySize returns the number of distinct terms in the merged

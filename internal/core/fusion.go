@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -40,19 +41,32 @@ func (s MergeStrategy) String() string {
 	}
 }
 
+// ErrUnknownMergeStrategy is returned for an Options.Merge value that names
+// no defined strategy. Rejecting it up front — rather than letting fuse's
+// default arm treat it as face value — keeps the result cache from
+// fragmenting across spellings of identical behaviour (MergeStrategy(42)
+// would otherwise evaluate like MergeFaceValue but cache under its own key).
+var ErrUnknownMergeStrategy = errors.New("core: unknown merge strategy")
+
 // effectiveMerge resolves the strategy a query actually applies: CN honours
 // Options.Merge (zero selects the paper's face-value merge); CV and CI
 // scores are already globally comparable, so Options.Merge is ignored and
 // they always collate at face value. The result cache keys on this resolved
-// value so option spellings that evaluate identically share an entry.
-func effectiveMerge(mode Mode, opts Options) MergeStrategy {
-	if mode != ModeCN {
-		return MergeFaceValue
+// value so option spellings that evaluate identically share an entry. A
+// value outside the defined strategies is rejected with
+// ErrUnknownMergeStrategy in every mode — including CV/CI, where it would
+// be ignored: an out-of-range strategy is a caller bug worth surfacing, not
+// a knob that happens not to matter today.
+func effectiveMerge(mode Mode, opts Options) (MergeStrategy, error) {
+	switch opts.Merge {
+	case 0, MergeFaceValue, MergeRoundRobin, MergeNormalized:
+	default:
+		return 0, fmt.Errorf("%w: %v", ErrUnknownMergeStrategy, opts.Merge)
 	}
-	if opts.Merge == 0 {
-		return MergeFaceValue
+	if mode != ModeCN || opts.Merge == 0 {
+		return MergeFaceValue, nil
 	}
-	return opts.Merge
+	return opts.Merge, nil
 }
 
 // fuse collates per-librarian answer lists (each already sorted by

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -200,14 +201,34 @@ func TestEffectiveMerge(t *testing.T) {
 		want MergeStrategy
 	}{
 		{ModeCN, Options{}, MergeFaceValue},
+		{ModeCN, Options{Merge: MergeFaceValue}, MergeFaceValue},
 		{ModeCN, Options{Merge: MergeRoundRobin}, MergeRoundRobin},
 		{ModeCN, Options{Merge: MergeNormalized}, MergeNormalized},
 		{ModeCV, Options{Merge: MergeRoundRobin}, MergeFaceValue},
 		{ModeCI, Options{Merge: MergeNormalized}, MergeFaceValue},
 	}
 	for _, tc := range cases {
-		if got := effectiveMerge(tc.mode, tc.opts); got != tc.want {
+		got, err := effectiveMerge(tc.mode, tc.opts)
+		if err != nil {
+			t.Errorf("effectiveMerge(%v, Merge=%v): %v", tc.mode, tc.opts.Merge, err)
+			continue
+		}
+		if got != tc.want {
 			t.Errorf("effectiveMerge(%v, Merge=%v) = %v, want %v", tc.mode, tc.opts.Merge, got, tc.want)
+		}
+	}
+}
+
+// TestEffectiveMergeRejectsUnknown: a Merge value naming no defined strategy
+// is a typed error in every mode — never silently face value, never a
+// cache-key fragment.
+func TestEffectiveMergeRejectsUnknown(t *testing.T) {
+	for _, mode := range []Mode{ModeCN, ModeCV, ModeCI} {
+		for _, bad := range []MergeStrategy{MergeStrategy(42), MergeStrategy(-1), MergeStrategy(4)} {
+			_, err := effectiveMerge(mode, Options{Merge: bad})
+			if !errors.Is(err, ErrUnknownMergeStrategy) {
+				t.Errorf("effectiveMerge(%v, Merge=%v) err = %v, want ErrUnknownMergeStrategy", mode, bad, err)
+			}
 		}
 	}
 }

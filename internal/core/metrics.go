@@ -58,6 +58,11 @@ type Metrics struct {
 	admissionQueueDepth *obs.Gauge
 	admissionWait       *obs.Histogram
 
+	// Collection-selection families: queries that went through the top-R
+	// ranker, and candidate librarians it ranked out of the fan-out.
+	selectionQueries *obs.Counter
+	selectionSkipped *obs.Counter
+
 	// central accounts the receptionist-side index work (CI group ranking).
 	central *search.Metrics
 }
@@ -106,9 +111,9 @@ func newMetrics(reg *obs.Registry) *Metrics {
 	m.cacheMisses = reg.Counter("teraphim_cache_misses_total",
 		"Cacheable queries that fell through to the full pipeline.", "")
 	m.cacheEvictions = reg.Counter("teraphim_cache_evictions_total",
-		"Cached results evicted by the entry or byte bound (LRU order).", "")
+		"Cached results removed individually: LRU/byte-bound evictions plus stale entries dropped lazily on lookup.", "")
 	m.cacheInvalidations = reg.Counter("teraphim_cache_invalidations_total",
-		"Epoch invalidations: setup re-runs, librarian collection swaps, and stale entries dropped on lookup.", "")
+		"Invalidation events (one per InvalidateCache call, regardless of how many entries it dooms).", "")
 	m.cacheEntries = reg.Gauge("teraphim_cache_entries",
 		"Results currently held by the cache.", "")
 	m.cacheBytes = reg.Gauge("teraphim_cache_bytes",
@@ -122,6 +127,11 @@ func newMetrics(reg *obs.Registry) *Metrics {
 		"Queries waiting for an in-flight slot.", "")
 	m.admissionWait = reg.Histogram("teraphim_admission_wait_seconds",
 		"Queue wait of queries that were eventually admitted.", "", nil)
+
+	m.selectionQueries = reg.Counter("teraphim_selection_queries_total",
+		"Queries whose fan-out was narrowed by top-R collection selection.", "")
+	m.selectionSkipped = reg.Counter("teraphim_selection_librarians_skipped_total",
+		"Candidate librarians not contacted because selection ranked them outside the top R.", "")
 
 	m.central = search.NewMetrics(reg, `component="central"`)
 	return m

@@ -10,19 +10,35 @@ import (
 	"teraphim/internal/search"
 )
 
-// queryCN implements Central Nothing: every librarian ranks with its own
-// local statistics; the receptionist merges the kS results with the
-// configured fusion strategy (face value by default, as in the paper).
-func (e *exec) queryCN(res *Result, query string, k int, opts Options) error {
+// queryCN implements Central Nothing: every librarian (or, under top-R
+// selection, the R most promising) ranks with its own local statistics; the
+// receptionist merges the kS results with the resolved fusion strategy
+// (face value by default, as in the paper). CN needs no central state —
+// except when TopR is set, which requires SetupVocabulary for the
+// collection statistics the ranker scores with.
+func (e *exec) queryCN(res *Result, query string, k int, merge MergeStrategy) error {
 	names := e.fed.Librarians()
+	if e.topR > 0 {
+		vs := e.fed.vocab.Load()
+		terms := e.fed.analyzer.Terms(nil, query)
+		selected, err := e.selectTopR(&res.Trace, vs, terms, nil)
+		if err != nil {
+			return err
+		}
+		names = selected
+	}
 	res.Trace.LibrariansAsked = len(names)
+	if len(names) == 0 {
+		res.Answers = nil
+		return nil
+	}
 	replies, err := e.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
 		return &protocol.RankQuery{Query: query, K: uint32(k)}
 	})
 	if err != nil {
 		return err
 	}
-	return e.mergeWith(res, replies, k, effectiveMerge(ModeCN, opts))
+	return e.mergeWith(res, replies, k, merge)
 }
 
 // queryCV implements Central Vocabulary: the receptionist computes global
@@ -35,21 +51,37 @@ func (e *exec) queryCV(res *Result, query string, k int) error {
 	if err != nil {
 		return err
 	}
-	// Collection selection: a librarian whose vocabulary contains none of
-	// the weighted terms cannot contribute and is not contacted. The vocab
-	// snapshot is loaded once so selection and weighting agree even if a
-	// re-setup lands mid-query.
+	// Eligibility: a librarian whose vocabulary contains none of the
+	// weighted terms cannot contribute and is not contacted. The vocab
+	// snapshot is loaded once so eligibility, weighting and top-R selection
+	// agree even if a re-setup lands mid-query.
 	vs := e.fed.vocab.Load()
-	var names []string
-	for i, li := range e.fed.libs {
+	var eligible []int
+	for i := range e.fed.libs {
 		for term := range weights {
 			if vs.perLib[i][term] > 0 {
-				names = append(names, li.name)
+				eligible = append(eligible, i)
 				break
 			}
 		}
 	}
 	res.Trace.Stages.Analyze += time.Since(analyzeStart)
+	names := make([]string, 0, len(eligible))
+	if e.topR > 0 && len(eligible) > 0 {
+		terms := make([]string, 0, len(weights))
+		for t := range weights {
+			terms = append(terms, t)
+		}
+		selected, err := e.selectTopR(&res.Trace, vs, terms, eligible)
+		if err != nil {
+			return err
+		}
+		names = selected
+	} else {
+		for _, i := range eligible {
+			names = append(names, e.fed.libs[i].name)
+		}
+	}
 	res.Trace.LibrariansAsked = len(names)
 	if len(names) == 0 {
 		res.Answers = nil
@@ -107,6 +139,24 @@ func (e *exec) queryCI(res *Result, query string, k int, opts Options) error {
 	}
 	sort.Strings(names)
 	res.Trace.Stages.Analyze += time.Since(analyzeStart)
+	if e.topR > 0 && len(names) > 0 {
+		// Top-R selection over the owners of expanded candidates: documents
+		// at unselected librarians are dropped from the score phase, trading
+		// recall for fan-out exactly as in CN/CV.
+		owners := make([]int, len(names))
+		for i, name := range names {
+			owners[i] = e.fed.byName[name].idx
+		}
+		terms := make([]string, 0, len(weights))
+		for t := range weights {
+			terms = append(terms, t)
+		}
+		selected, err := e.selectTopR(&res.Trace, e.fed.vocab.Load(), terms, owners)
+		if err != nil {
+			return err
+		}
+		names = selected
+	}
 	res.Trace.LibrariansAsked = len(names)
 	if len(names) == 0 {
 		res.Answers = nil

@@ -15,6 +15,7 @@ import (
 	"teraphim/internal/index"
 	"teraphim/internal/obs"
 	"teraphim/internal/protocol"
+	"teraphim/internal/selection"
 	"teraphim/internal/simnet"
 	"teraphim/internal/textproc"
 )
@@ -117,11 +118,11 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 		}
 		p.admission = adm
 	}
-	for _, name := range names {
+	for i, name := range names {
 		if _, dup := fed.byName[name]; dup {
 			return nil, fmt.Errorf("core: duplicate librarian %q", name)
 		}
-		li := &libMeta{name: name}
+		li := &libMeta{name: name, idx: i}
 		fed.libs = append(fed.libs, li)
 		fed.byName[name] = li
 		p.slots[name] = make(chan struct{}, max)
@@ -412,6 +413,14 @@ func (p *Pool) SetupVocabulary() (Trace, error) {
 		}
 		vs.perLib[i] = local
 	}
+	// Derive the collection-selection index from the same statistics, so the
+	// installed state answers both "how do terms weigh globally?" and "which
+	// librarians are worth asking?" from one atomic snapshot.
+	cols := make([]selection.Collection, len(p.fed.libs))
+	for i, li := range p.fed.libs {
+		cols[i] = selection.Collection{Name: li.name, Docs: li.numDocs, DF: vs.perLib[i]}
+	}
+	vs.sel = selection.New(cols)
 	p.fed.installVocab(vs)
 	return trace, nil
 }

@@ -45,8 +45,19 @@ type Options struct {
 	CompressedTransfer bool
 	// Merge selects the CN collation strategy (zero = MergeFaceValue, the
 	// paper's behaviour). Ignored by CV and CI, whose scores are already
-	// globally comparable.
+	// globally comparable. A value naming no defined strategy fails the
+	// query with ErrUnknownMergeStrategy in every mode.
 	Merge MergeStrategy
+	// TopR narrows the rank-phase fan-out to the R librarians most likely
+	// to hold answers, ranked by CORI collection-selection score over the
+	// merged vocabulary's per-librarian statistics. Zero or negative
+	// disables selection (full fan-out, the paper's behaviour); values
+	// above the fleet size clamp to it. Requires SetupVocabulary in every
+	// mode, including CN. Selection composes with the other machinery: CV's
+	// eligibility filter and CI's candidate expansion run first and
+	// selection narrows their output; MinLibrarians/AllowPartial apply to
+	// the selected set; cached entries are keyed by the resolved R.
+	TopR int
 	// Timeout bounds each librarian exchange within the query; zero means
 	// no deadline. On the paper's WAN, where "the cost of running the WAN
 	// queries varied by as much as a factor of one hundred", a deadline is
@@ -204,6 +215,13 @@ func (r *Receptionist) SetupCentralIndex(g *GroupedIndex) error {
 // SetupVocabulary.
 func (r *Receptionist) GlobalWeights(query string) (map[string]float64, error) {
 	return r.pool.fed.GlobalWeights(query)
+}
+
+// SelectLibrarians returns the names of the r librarians a TopR=r query for
+// query would fan out to, in global-numbering order; see
+// Federation.SelectLibrarians. Requires SetupVocabulary.
+func (r *Receptionist) SelectLibrarians(query string, topR int) ([]string, error) {
+	return r.pool.fed.SelectLibrarians(query, topR)
 }
 
 // Query evaluates a ranked query under the given methodology, returning the

@@ -38,8 +38,30 @@ func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k i
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	switch mode {
+	case ModeCN, ModeCV, ModeCI:
+	default:
+		return nil, fmt.Errorf("core: receptionist cannot evaluate mode %v", mode)
+	}
+	// Merge strategy and top-R are resolved (validated, defaulted, clamped)
+	// before anything else: an out-of-range Options.Merge must fail the
+	// query rather than silently collate at face value, and the cache must
+	// key on the resolved values so equivalent option spellings share an
+	// entry instead of fragmenting it.
+	merge, err := effectiveMerge(mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	topR := effectiveTopR(s.fed, opts)
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// An already-cancelled context fails deterministically up front. Without
+	// this, cancellation is only observed through connection deadlines and
+	// slot waits, and a fast in-process exchange can win that race and
+	// "succeed" for a caller that already gave up.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	// The cache is consulted before admission control: a hit costs no
@@ -49,7 +71,7 @@ func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k i
 	var epoch uint64
 	cache := s.pool.cache
 	if cache != nil {
-		key = cache.keyFor(s.fed, mode, query, k, opts)
+		key = cache.keyFor(s.fed, mode, query, k, merge, topR, opts)
 		epoch = s.fed.Epoch() + cache.gen.Load()
 		if res, ok := cache.get(key, epoch); ok {
 			s.pool.observeQuery(mode, query, time.Since(start), res, nil)
@@ -62,19 +84,16 @@ func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k i
 		}
 		defer adm.release()
 	}
-	e := &exec{ctx: ctx, fed: s.fed, pool: s.pool, policy: policyFor(opts)}
+	e := &exec{ctx: ctx, fed: s.fed, pool: s.pool, policy: policyFor(opts), topR: topR}
 	res := &Result{}
 	res.Trace.Mode = mode
-	var err error
 	switch mode {
 	case ModeCN:
-		err = e.queryCN(res, query, k, opts)
+		err = e.queryCN(res, query, k, merge)
 	case ModeCV:
 		err = e.queryCV(res, query, k)
 	case ModeCI:
 		err = e.queryCI(res, query, k, opts)
-	default:
-		return nil, fmt.Errorf("core: receptionist cannot evaluate mode %v", mode)
 	}
 	if err == nil && opts.Fetch {
 		err = e.fetchAnswers(res, opts.CompressedTransfer)
@@ -112,6 +131,10 @@ type exec struct {
 	fed    *Federation
 	pool   *Pool
 	policy callPolicy
+	// topR > 0 narrows the rank-phase fan-out to the top-R librarians by
+	// collection-selection score (already clamped to the fleet size); zero
+	// means full fan-out.
+	topR int
 }
 
 // callParallel sends one request to each named librarian concurrently and

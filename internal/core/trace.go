@@ -130,6 +130,13 @@ type Trace struct {
 	MergeCandidates int
 	// LibrariansAsked counts librarians contacted in the rank phase.
 	LibrariansAsked int
+	// LibrariansSelected counts librarians the top-R collection-selection
+	// ranker picked for this query; zero when selection was off
+	// (Options.TopR <= 0). Selection is the last filter before contact (it
+	// runs after CV/CI's own eligibility filters), so when it ran this
+	// equals LibrariansAsked — the field distinguishes "asked few because
+	// selection narrowed the fan-out" from "asked few anyway".
+	LibrariansSelected int
 
 	// LocalDocsFetched and LocalDocBytes account for documents the MS
 	// baseline reads from its own disk (no network involved).

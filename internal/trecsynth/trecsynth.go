@@ -125,6 +125,28 @@ func DefaultConfig() Config {
 	}
 }
 
+// SkewedConfig describes a fleet of numSubs small, topically focused
+// subcollections ("S00", "S01", ...) of docsPerSub documents each — the
+// many-subcollections regime collection selection targets. Each
+// subcollection homes two topics and HomeBias is turned up high, so a
+// query's answers concentrate in a few subcollections and a top-R
+// receptionist can skip the rest without losing much. Everything else
+// follows DefaultConfig, scaled down to keep sweeps over dozens of
+// subcollections fast.
+func SkewedConfig(numSubs, docsPerSub int) Config {
+	cfg := DefaultConfig()
+	cfg.Subs = make([]SubSpec, numSubs)
+	for i := range cfg.Subs {
+		cfg.Subs[i] = SubSpec{Name: fmt.Sprintf("S%02d", i), NumDocs: docsPerSub}
+	}
+	cfg.NumTopics = 2 * numSubs
+	cfg.HomeBias = 0.92
+	cfg.VocabSize = 6000
+	cfg.NumShortQueries = 32
+	cfg.NumLongQueries = 8
+	return cfg
+}
+
 // topicTermCount is the size of each topic's term set. Large and
 // flat-weighted: a document about the topic covers only a fraction of the
 // set, so query/document term overlap is partial — the property that makes

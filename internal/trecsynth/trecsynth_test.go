@@ -1,6 +1,7 @@
 package trecsynth
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -281,5 +282,49 @@ func BenchmarkGenerate(b *testing.B) {
 		if _, err := Generate(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSkewedConfig: the many-subcollections preset concentrates each
+// subcollection's documents on its own home topics — the property top-R
+// collection selection exploits.
+func TestSkewedConfig(t *testing.T) {
+	cfg := SkewedConfig(8, 60)
+	if len(cfg.Subs) != 8 {
+		t.Fatalf("subs = %d, want 8", len(cfg.Subs))
+	}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Topic homes round-robin over subcollections (home = topic mod subs),
+	// and doc titles carry the generating topic; count how many documents
+	// stayed home.
+	home, total := 0, 0
+	for si, sub := range c.Subcollections {
+		if len(sub.Docs) != 60 {
+			t.Fatalf("sub %s has %d docs, want 60", sub.Name, len(sub.Docs))
+		}
+		for _, d := range sub.Docs {
+			var topicID int
+			if _, err := fmt.Sscanf(d.Title[strings.Index(d.Title, "(topic "):], "(topic %d)", &topicID); err != nil {
+				t.Fatalf("title %q: %v", d.Title, err)
+			}
+			total++
+			if topicID%len(cfg.Subs) == si {
+				home++
+			}
+		}
+	}
+	if frac := float64(home) / float64(total); frac < 0.8 {
+		t.Fatalf("only %.0f%% of documents are about home topics; skew too weak for selection", 100*frac)
+	}
+	// Determinism: the same preset generates the same corpus.
+	c2, err := Generate(SkewedConfig(8, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Subcollections[3].Docs[7].Text != c2.Subcollections[3].Docs[7].Text {
+		t.Fatal("SkewedConfig generation is not deterministic")
 	}
 }

@@ -46,14 +46,25 @@
 //
 // Two opt-in mechanisms guard a receptionist under heavy concurrent
 // traffic. ReceptionistConfig.Cache enables an LRU result cache keyed by
-// (mode, normalized query, k, merge strategy): a repeat query is answered
-// from memory with zero librarian round trips, and every entry is
+// (mode, normalized query, k, merge strategy, top-R): a repeat query is
+// answered from memory with zero librarian round trips, and every entry is
 // invalidated when setup state changes or InvalidateCache runs (wire it to
 // UpdatableLibrarian.OnUpdate so cached answers never outlive the
 // collection they were computed from). ReceptionistConfig.Admission bounds
 // concurrent evaluation: beyond MaxInFlight running queries and MaxQueue
 // waiters, requests fail fast with ErrOverloaded instead of stacking up
 // until every deadline blows.
+//
+// # Collection selection
+//
+// At hundreds of subcollections, shipping every query to every librarian
+// is the scaling wall. Options.TopR narrows the fan-out: SetupVocabulary
+// derives CORI-style per-librarian collection scores alongside the global
+// term statistics, and a TopR = R query contacts only the R librarians
+// most likely to hold answers (Receptionist.SelectLibrarians previews the
+// choice). Selection composes with everything else — CV eligibility, CI
+// candidate expansion, partial results, admission and the result cache —
+// and Trace.LibrariansSelected records what it did.
 package teraphim
 
 import (
@@ -168,6 +179,14 @@ type BooleanResult = core.BooleanResult
 // a request (in-flight limit reached, queue full or deadline unmeetable).
 // Test with errors.Is; a shed query consumed no librarian resources.
 var ErrOverloaded = core.ErrOverloaded
+
+// ErrUnknownMergeStrategy is returned by the query path when Options.Merge
+// names no defined strategy. Test with errors.Is.
+var ErrUnknownMergeStrategy = core.ErrUnknownMergeStrategy
+
+// ErrSelectionNeedsVocabulary is returned by a TopR query (or
+// SelectLibrarians) before SetupVocabulary has run. Test with errors.Is.
+var ErrSelectionNeedsVocabulary = core.ErrSelectionNeedsVocabulary
 
 // Observability types.
 type (
@@ -318,3 +337,11 @@ func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) { return trecsynth.Genera
 
 // DefaultCorpusConfig returns the standard experiment corpus configuration.
 func DefaultCorpusConfig() CorpusConfig { return trecsynth.DefaultConfig() }
+
+// SkewedCorpusConfig returns a corpus configuration of numSubs small,
+// topically focused subcollections of docsPerSub documents each — the
+// many-subcollections regime where top-R collection selection
+// (Options.TopR) pays off.
+func SkewedCorpusConfig(numSubs, docsPerSub int) CorpusConfig {
+	return trecsynth.SkewedConfig(numSubs, docsPerSub)
+}
