@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke bench-select bench-select-smoke verify
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke bench-select bench-select-smoke bench-replica bench-replica-smoke verify
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,17 @@ bench-select:
 bench-select-smoke:
 	$(GO) test -run='^$$' -bench=SelectThroughput -benchtime=0.05s .
 
+# Regenerate BENCH_replica.json: replica-set throughput with a replica
+# killed mid-run, and hedged vs unhedged tail latency against a slow replica
+# (the writer is gated on REPLICA_BENCH_RECORD).
+bench-replica:
+	REPLICA_BENCH_RECORD=1 $(GO) test -run='^$$' -bench=ReplicaThroughput .
+
+# Short form for verify: exercises every replica scenario — kill mid-run,
+# hedge race — without touching the recorded BENCH_replica.json numbers.
+bench-replica-smoke:
+	$(GO) test -run='^$$' -bench=ReplicaThroughput -benchtime=30x .
+
 # Full search-kernel sweep with allocation reporting; regenerates the
 # "current" section of BENCH_search.json (the "baseline" section records
 # the pre-kernel evaluator and is preserved).
@@ -64,5 +75,5 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SearchKernel -benchmem -benchtime=0.05s .
 
-verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke bench-select-smoke
+verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke bench-select-smoke bench-replica-smoke
 	@echo "verify: OK"

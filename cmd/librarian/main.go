@@ -5,6 +5,11 @@
 // Usage:
 //
 //	librarian -col collection/ -listen :7001
+//
+// -listen accepts a comma-separated address list: every address serves the
+// same collection from one process, which is how a receptionist's replicated
+// -libs spec (AP=host:7001,AP=host:7002) can be backed without duplicating
+// the index on disk.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"teraphim/internal/librarian"
@@ -29,7 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("librarian", flag.ContinueOnError)
 	col := fs.String("col", "", "collection directory (required)")
-	listen := fs.String("listen", ":7001", "listen address")
+	listen := fs.String("listen", ":7001", "listen address, or a comma-separated list to serve the collection on several (replica endpoints)")
 	obsAddr := fs.String("obs", "", "serve Prometheus /metrics and pprof on this address (e.g. :9091; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,17 +57,37 @@ func run(args []string) error {
 		defer osrv.Close()
 		fmt.Printf("metrics and pprof on http://%s/\n", osrv.Addr())
 	}
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return err
+	var srvs []*librarian.Server
+	for _, addr := range strings.Split(*listen, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			for _, s := range srvs {
+				_ = s.Close()
+			}
+			return err
+		}
+		srv := librarian.Serve(lib, ln)
+		srvs = append(srvs, srv)
+		fmt.Printf("librarian %q serving %d documents on %s\n",
+			lib.Name(), lib.Engine().Index().NumDocs(), srv.Addr())
 	}
-	srv := librarian.Serve(lib, ln)
-	fmt.Printf("librarian %q serving %d documents on %s\n",
-		lib.Name(), lib.Engine().Index().NumDocs(), srv.Addr())
+	if len(srvs) == 0 {
+		return fmt.Errorf("-listen names no addresses")
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("shutting down")
-	return srv.Close()
+	var first error
+	for _, srv := range srvs {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

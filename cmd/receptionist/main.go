@@ -5,6 +5,11 @@
 //
 //	receptionist -libs AP=localhost:7001,FR=localhost:7002 [-mode cv] [-k 20] [-fetch]
 //
+// Repeating a librarian name declares replicas of its subcollection
+// (-libs AP=h1:7001,AP=h2:7001 routes AP's exchanges across both endpoints,
+// auto-named AP#0 and AP#1); -hedge 0.95 additionally races a second replica
+// whenever an exchange outlives that latency quantile.
+//
 // Queries are read from stdin, one per line. CI mode additionally requires
 // -groupdocs pointing at the documents so the grouped central index can be
 // built (the offline preprocessing step); for in-process experimentation
@@ -56,6 +61,7 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	queue := fs.Int("queue", 0, "with -inflight, max queries waiting for admission before shedding")
 	queueWait := fs.Duration("queuewait", 0, "with -inflight, max time a query waits for admission (0 = until deadline)")
 	topR := fs.Int("topr", 0, "collection selection: contact only the R librarians ranked most promising per query (0 = full fan-out)")
+	hedge := fs.Float64("hedge", 0, "race a second replica when an exchange outlives this latency quantile, e.g. 0.95 (0 = off; needs replicated -libs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,15 +78,33 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 		return fmt.Errorf("unsupported mode %q (cn or cv; see cmd/experiments for ci)", *mode)
 	}
 
+	// A repeated name in -libs declares replicas: its addresses become
+	// endpoints name#0, name#1, ... routed by the pool's replica router.
 	dialer := simnet.TCPDialer{}
 	var names []string
+	addrs := map[string][]string{}
 	for _, spec := range strings.Split(*libs, ",") {
 		name, addr, found := strings.Cut(spec, "=")
 		if !found {
 			return fmt.Errorf("malformed librarian spec %q", spec)
 		}
-		dialer[name] = addr
-		names = append(names, name)
+		if len(addrs[name]) == 0 {
+			names = append(names, name)
+		}
+		addrs[name] = append(addrs[name], addr)
+	}
+	replicas := map[string][]string{}
+	for _, name := range names {
+		list := addrs[name]
+		if len(list) == 1 {
+			dialer[name] = list[0]
+			continue
+		}
+		for i, addr := range list {
+			ep := fmt.Sprintf("%s#%d", name, i)
+			dialer[ep] = addr
+			replicas[name] = append(replicas[name], ep)
+		}
 	}
 
 	var analyzerOpts []textproc.Option
@@ -95,6 +119,9 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 		Analyzer:           textproc.NewAnalyzer(analyzerOpts...),
 		Metrics:            reg,
 		SlowQueryThreshold: *slowQuery,
+	}
+	if len(replicas) > 0 {
+		cfg.Replicas = replicas
 	}
 	if *cache > 0 {
 		cfg.Cache = &core.CacheConfig{MaxEntries: *cache, MaxBytes: *cacheBytes}
@@ -117,6 +144,14 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 	}
 	fmt.Fprintf(w, "connected to %d librarians, %d documents total\n",
 		len(recep.Librarians()), recep.TotalDocs())
+	for _, name := range recep.Librarians() {
+		if eps := replicas[name]; len(eps) > 1 {
+			fmt.Fprintf(w, "librarian %s: %d replicas (%s)\n", name, len(eps), strings.Join(eps, ", "))
+		}
+	}
+	if *hedge > 0 {
+		fmt.Fprintf(w, "hedging on: racing a second replica past the p%.0f exchange latency\n", *hedge*100)
+	}
 
 	// Selection ranks librarians from the merged vocabulary statistics, so
 	// -topr needs SetupVocabulary even in CN mode.
@@ -172,6 +207,7 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 			AllowPartial:       *partial,
 			MinLibrarians:      *minLibs,
 			TopR:               *topR,
+			HedgeAfter:         *hedge,
 		})
 		if err != nil {
 			fmt.Fprintf(w, "error: %v\n", err)
@@ -198,6 +234,9 @@ func run(w io.Writer, stdin io.Reader, args []string) error {
 		}
 		if retried := res.Trace.RetryAttempts(); retried > 0 {
 			fmt.Fprintf(w, "recovered after %d retried exchange(s)\n", retried)
+		}
+		if res.Trace.Hedges > 0 {
+			fmt.Fprintf(w, "hedged %d exchange(s), %d won the race\n", res.Trace.Hedges, res.Trace.HedgeWins)
 		}
 		for i, a := range res.Answers {
 			fmt.Fprintf(w, "%3d. %-24s %.4f", i+1, a.Key(), a.Score)

@@ -11,6 +11,11 @@
 //	stress -libs AP=host:7001,FR=host:7002 -queryfile queries.txt \
 //	       [-mode cv] [-clients 8] [-conns 0] [-n 200] [-k 20] [-fetch]
 //
+// Repeating a librarian name declares replicas of its subcollection
+// (-libs AP=h1:7001,AP=h2:7001 routes AP's exchanges across both endpoints,
+// auto-named AP#0 and AP#1); -hedge 0.95 additionally races a second replica
+// whenever an exchange outlives that latency quantile.
+//
 // The query file holds one query per line (cmd/trecgen's queries.tsv also
 // works; the last tab-separated field is used).
 package main
@@ -68,6 +73,7 @@ func run(w io.Writer, args []string) error {
 	queue := fs.Int("queue", 0, "with -inflight, max queries waiting for admission before shedding")
 	queueWait := fs.Duration("queuewait", 0, "with -inflight, max time a query waits for admission (0 = until deadline)")
 	topR := fs.Int("topr", 0, "collection selection: contact only the R librarians ranked most promising per query (0 = full fan-out)")
+	hedge := fs.Float64("hedge", 0, "race a second replica when an exchange outlives this latency quantile, e.g. 0.95 (0 = off; needs replicated -libs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,15 +103,9 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("no queries in %s", *queryFile)
 	}
 
-	dialer := simnet.TCPDialer{}
-	var names []string
-	for _, spec := range strings.Split(*libs, ",") {
-		name, addr, found := strings.Cut(spec, "=")
-		if !found {
-			return fmt.Errorf("malformed librarian spec %q", spec)
-		}
-		dialer[name] = addr
-		names = append(names, name)
+	dialer, names, replicas, err := parseLibs(*libs)
+	if err != nil {
+		return err
 	}
 
 	maxConns := *conns
@@ -122,6 +122,7 @@ func run(w io.Writer, args []string) error {
 		AllowPartial:       *partial,
 		MinLibrarians:      *minLibs,
 		TopR:               *topR,
+		HedgeAfter:         *hedge,
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -143,7 +144,7 @@ func run(w io.Writer, args []string) error {
 		defer srv.Close()
 		fmt.Fprintf(w, "metrics and pprof on http://%s/ for the duration of the run\n", srv.Addr())
 	}
-	cfg := core.Config{MaxConnsPerLibrarian: maxConns, Metrics: reg, SlowQueryThreshold: *slowQuery}
+	cfg := core.Config{MaxConnsPerLibrarian: maxConns, Metrics: reg, SlowQueryThreshold: *slowQuery, Replicas: replicas}
 	if *cache > 0 {
 		cfg.Cache = &core.CacheConfig{MaxEntries: *cache, MaxBytes: *cacheBytes}
 	}
@@ -187,7 +188,47 @@ func run(w io.Writer, args []string) error {
 	if *inflight > 0 {
 		fmt.Fprintf(w, "shed            %10d queries (overloaded; not counted in latency)\n", report.shed)
 	}
+	if *hedge > 0 {
+		fmt.Fprintf(w, "hedges          %10d launched, %d won (HedgeAfter %.2f)\n",
+			report.hedges, report.hedgeWins, *hedge)
+	}
 	return nil
+}
+
+// parseLibs turns the -libs spec into a dialer, the librarian order and the
+// replica map. A repeated name declares replicas: its addresses become
+// endpoints name#0, name#1, ... routed by the pool's per-librarian router.
+func parseLibs(libs string) (simnet.TCPDialer, []string, map[string][]string, error) {
+	dialer := simnet.TCPDialer{}
+	var names []string
+	addrs := map[string][]string{}
+	for _, spec := range strings.Split(libs, ",") {
+		name, addr, found := strings.Cut(spec, "=")
+		if !found {
+			return nil, nil, nil, fmt.Errorf("malformed librarian spec %q", spec)
+		}
+		if len(addrs[name]) == 0 {
+			names = append(names, name)
+		}
+		addrs[name] = append(addrs[name], addr)
+	}
+	replicas := map[string][]string{}
+	for _, name := range names {
+		list := addrs[name]
+		if len(list) == 1 {
+			dialer[name] = list[0]
+			continue
+		}
+		for i, addr := range list {
+			ep := fmt.Sprintf("%s#%d", name, i)
+			dialer[ep] = addr
+			replicas[name] = append(replicas[name], ep)
+		}
+	}
+	if len(replicas) == 0 {
+		replicas = nil
+	}
+	return dialer, names, replicas, nil
 }
 
 type report struct {
@@ -208,6 +249,9 @@ type report struct {
 	// Fan-out width: librarians contacted, summed over completed queries
 	// (cache hits contact none and drag the mean down, as they should).
 	askedSum int
+	// Hedging tallies from the pool metrics: replica races launched and won.
+	hedges    uint64
+	hedgeWins uint64
 }
 
 // drive runs the benchmark: one pool is set up once (Hello + whatever the
@@ -301,7 +345,8 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep := report{completed: len(latencies), setupTrips: setupTrips, elapsed: elapsed,
 		degraded: degraded, libFailures: libFailures, retried: retried,
-		cacheHits: cacheHits, shed: shed, askedSum: askedSum}
+		cacheHits: cacheHits, shed: shed, askedSum: askedSum,
+		hedges: pool.Metrics().HedgesLaunched(), hedgeWins: pool.Metrics().HedgesWon()}
 	if elapsed > 0 {
 		rep.throughput = float64(len(latencies)) / elapsed.Seconds()
 	}

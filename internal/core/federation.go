@@ -208,6 +208,11 @@ func (f *Federation) installModels(ms *modelSet) {
 	f.epoch.Add(1)
 }
 
+// bumpEpoch versions a shared-state change that has no dedicated install —
+// replica membership changes go through here, so AddReplica/RemoveReplica
+// ride the same epoch mechanism as the Setup* installs.
+func (f *Federation) bumpEpoch() { f.epoch.Add(1) }
+
 // CentralIndex returns the installed grouped central index, or nil before
 // SetupCentralIndex / SetupCentralIndexRemote has run.
 func (f *Federation) CentralIndex() *GroupedIndex { return f.central.Load() }

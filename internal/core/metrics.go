@@ -63,6 +63,14 @@ type Metrics struct {
 	selectionQueries *obs.Counter
 	selectionSkipped *obs.Counter
 
+	// Replica-routing families: hedged exchanges launched and won, and the
+	// router's passive-health transitions (ejections on consecutive
+	// failures, readmissions on successful probes).
+	hedgeLaunched       *obs.Counter
+	hedgeWon            *obs.Counter
+	replicaEjections    *obs.Counter
+	replicaReadmissions *obs.Counter
+
 	// central accounts the receptionist-side index work (CI group ranking).
 	central *search.Metrics
 }
@@ -133,6 +141,15 @@ func newMetrics(reg *obs.Registry) *Metrics {
 	m.selectionSkipped = reg.Counter("teraphim_selection_librarians_skipped_total",
 		"Candidate librarians not contacted because selection ranked them outside the top R.", "")
 
+	m.hedgeLaunched = reg.Counter("teraphim_hedge_launched_total",
+		"Hedged exchanges launched: the primary outlived its latency-quantile budget and a second replica was raced (only hedges that got a free connection slot count).", "")
+	m.hedgeWon = reg.Counter("teraphim_hedge_won_total",
+		"Hedged exchanges whose reply arrived first and was used.", "")
+	m.replicaEjections = reg.Counter("teraphim_replica_ejections_total",
+		"Replicas ejected from routing after consecutive exchange failures (including failed readmission probes).", "")
+	m.replicaReadmissions = reg.Counter("teraphim_replica_readmissions_total",
+		"Ejected replicas readmitted after a successful exchange.", "")
+
 	m.central = search.NewMetrics(reg, `component="central"`)
 	return m
 }
@@ -140,6 +157,15 @@ func newMetrics(reg *obs.Registry) *Metrics {
 // Registry returns the registry the instruments live on — mount it with
 // obs.Handler / obs.ListenAndServe to expose /metrics.
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// HedgesLaunched returns the cumulative count of hedged exchanges launched
+// (teraphim_hedge_launched_total), for programmatic inspection alongside the
+// per-query Trace.Hedges.
+func (m *Metrics) HedgesLaunched() uint64 { return m.hedgeLaunched.Value() }
+
+// HedgesWon returns the cumulative count of hedged exchanges whose reply
+// arrived first and was used (teraphim_hedge_won_total).
+func (m *Metrics) HedgesWon() uint64 { return m.hedgeWon.Value() }
 
 // observeQuery folds one completed (or failed) query into the counters and
 // stage histograms, and emits the slow-query line when the pool is

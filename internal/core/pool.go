@@ -28,12 +28,18 @@ const DefaultMaxConnsPerLibrarian = 4
 var ErrPoolClosed = errors.New("core: pool is closed")
 
 // Pool owns every connection the federation holds to its librarians and
-// bounds them at MaxConnsPerLibrarian per librarian. Sessions lease a
+// bounds them at MaxConnsPerLibrarian per replica endpoint. Sessions lease a
 // connection per exchange (Acquire/Release); idle connections are reused,
 // and a connection whose stream was interrupted mid-message (dirty) is
 // discarded rather than returned — the next frame on it would decode
 // garbage, so the redial logic from the fault-tolerance layer replaces it
 // instead.
+//
+// When Config.Replicas gives a librarian several endpoints, each lease goes
+// through the librarian's router: power-of-two-choices over the healthy
+// replicas, with failing endpoints ejected and probed back in. A librarian
+// without configured replicas routes every lease to the single endpoint
+// named after it — exactly the pre-replication behaviour.
 //
 // A Pool is safe for concurrent use. Close may race with in-flight queries:
 // it closes every connection (waking blocked readers), and subsequent
@@ -43,9 +49,10 @@ type Pool struct {
 	dialer simnet.Dialer
 	max    int
 
-	// slots[name] is a counting semaphore bounding live leases per
-	// librarian; immutable after NewPool.
-	slots map[string]chan struct{}
+	// routers[name] picks the replica endpoint serving each exchange. The
+	// map's keys are immutable after NewPool; the replica sets behind them
+	// change via AddReplica/RemoveReplica (atomic copy-on-write installs).
+	routers map[string]*router
 	// done is closed by Close so blocked Acquires fail fast.
 	done chan struct{}
 
@@ -61,6 +68,9 @@ type Pool struct {
 	cache     *resultCache
 	admission *admission
 
+	// idle and leased are keyed by replica endpoint (== librarian name in
+	// an unreplicated pool): a parked connection may only be reused for the
+	// endpoint it is dialled to.
 	mu     sync.Mutex
 	closed bool
 	idle   map[string][]net.Conn
@@ -96,11 +106,19 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 		analyzer: analyzer,
 		byName:   make(map[string]*libMeta, len(names)),
 	}
+	ejectAfter := cfg.ReplicaEjectAfter
+	if ejectAfter <= 0 {
+		ejectAfter = DefaultReplicaEjectAfter
+	}
+	probeAfter := cfg.ReplicaProbeAfter
+	if probeAfter <= 0 {
+		probeAfter = DefaultReplicaProbeAfter
+	}
 	p := &Pool{
 		fed:           fed,
 		dialer:        dialer,
 		max:           max,
-		slots:         make(map[string]chan struct{}, len(names)),
+		routers:       make(map[string]*router, len(names)),
 		done:          make(chan struct{}),
 		metrics:       newMetrics(reg),
 		slowThreshold: cfg.SlowQueryThreshold,
@@ -118,6 +136,10 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 		}
 		p.admission = adm
 	}
+	// endpointOwner enforces that no endpoint serves two librarians: a
+	// replica answers for exactly one subcollection, or global numbering
+	// (and every merge) breaks.
+	endpointOwner := make(map[string]string)
 	for i, name := range names {
 		if _, dup := fed.byName[name]; dup {
 			return nil, fmt.Errorf("core: duplicate librarian %q", name)
@@ -125,7 +147,25 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 		li := &libMeta{name: name, idx: i}
 		fed.libs = append(fed.libs, li)
 		fed.byName[name] = li
-		p.slots[name] = make(chan struct{}, max)
+		endpoints := cfg.Replicas[name]
+		if len(endpoints) == 0 {
+			endpoints = []string{name}
+		}
+		for _, ep := range endpoints {
+			if owner, dup := endpointOwner[ep]; dup {
+				return nil, fmt.Errorf("core: endpoint %q serves both %q and %q", ep, owner, name)
+			}
+			endpointOwner[ep] = name
+		}
+		// The router PRNG seed is derived from the librarian's position, so
+		// replica selection is deterministic given a fixed query schedule —
+		// the property tests rely on it, production does not care.
+		p.routers[name] = newRouter(name, endpoints, max, ejectAfter, probeAfter, p.metrics, int64(i)+1)
+	}
+	for name := range cfg.Replicas {
+		if _, ok := fed.byName[name]; !ok {
+			return nil, fmt.Errorf("core: Replicas names unknown librarian %q", name)
+		}
 	}
 
 	// Hello exchange: one call per librarian, zero policy (setup is never
@@ -206,18 +246,23 @@ func (p *Pool) CacheStats() (stats CacheStats, ok bool) {
 	return p.cache.stats(), true
 }
 
-// PooledConn is one leased connection to one librarian. It is owned by a
-// single goroutine between Acquire and Release; the pool only touches it
-// again at Close (to unblock a stuck read) and at Release.
+// PooledConn is one leased connection to one replica of one librarian. It
+// is owned by a single goroutine between Acquire and Release; the pool only
+// touches it again at Close (to unblock a stuck read) and at Release.
 type PooledConn struct {
 	pool  *Pool
 	name  string
+	rep   *replica
 	conn  net.Conn
 	dirty bool
 }
 
 // Librarian returns the name of the librarian this lease is bound to.
 func (pc *PooledConn) Librarian() string { return pc.name }
+
+// Endpoint returns the replica endpoint this lease is bound to (equal to
+// Librarian() in an unreplicated pool).
+func (pc *PooledConn) Endpoint() string { return pc.rep.endpoint }
 
 // Conn returns the underlying connection. Nil is possible only between a
 // failed ensure (dial error) and Release.
@@ -246,7 +291,7 @@ func (pc *PooledConn) ensure() error {
 		pc.dirty = false
 		p.metrics.dirtyDiscards.Inc()
 	}
-	conn, err := p.dialer.Dial(pc.name)
+	conn, err := p.dialer.Dial(pc.rep.endpoint)
 	if err != nil {
 		return fmt.Errorf("redial: %w", err)
 	}
@@ -256,48 +301,74 @@ func (pc *PooledConn) ensure() error {
 		_ = conn.Close()
 		return ErrPoolClosed
 	}
-	p.leased[conn] = pc.name
+	p.leased[conn] = pc.rep.endpoint
 	p.mu.Unlock()
 	pc.conn = conn
 	return nil
 }
 
-// leaseCtx takes a per-librarian slot and, if one is idle, an existing
+// errNoFreeSlot is the sentinel a try-only lease (a hedge) gets when every
+// connection slot of the picked replica is busy. It never surfaces to
+// callers: a hedge that cannot get a slot simply does not launch.
+var errNoFreeSlot = errors.New("core: no free replica slot")
+
+// leaseReplica routes through the librarian's router to pick a replica,
+// takes one of its connection slots and, if one is idle, an existing
 // connection — without dialing. The exchange loop dials lazily via ensure
 // so that dial failures participate in the retry/backoff policy. The slot
 // wait — the queueing delay when all MaxConnsPerLibrarian leases are out —
 // is observed into the acquire-wait histogram and aborts if ctx is
-// cancelled first.
-func (p *Pool) leaseCtx(ctx context.Context, name string) (*PooledConn, error) {
-	slot, ok := p.slots[name]
+// cancelled first. avoid steers the pick away from an endpoint when
+// alternatives exist; tryOnly makes the slot take non-blocking (hedges
+// never queue behind regular exchanges).
+func (p *Pool) leaseReplica(ctx context.Context, name, avoid string, tryOnly bool) (*PooledConn, error) {
+	rt, ok := p.routers[name]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown librarian %q", name)
 	}
-	start := time.Now()
-	select {
-	case slot <- struct{}{}:
-	case <-p.done:
-		return nil, ErrPoolClosed
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	rep := rt.pick(avoid)
+	if rep == nil {
+		return nil, fmt.Errorf("core: librarian %q has no replicas", name)
 	}
-	p.metrics.acquireWait.ObserveDuration(time.Since(start))
+	if tryOnly {
+		select {
+		case rep.slots <- struct{}{}:
+		default:
+			return nil, errNoFreeSlot
+		}
+	} else {
+		start := time.Now()
+		select {
+		case rep.slots <- struct{}{}:
+		case <-p.done:
+			return nil, ErrPoolClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		p.metrics.acquireWait.ObserveDuration(time.Since(start))
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		<-slot
+		<-rep.slots
 		return nil, ErrPoolClosed
 	}
-	pc := &PooledConn{pool: p, name: name}
-	if list := p.idle[name]; len(list) > 0 {
+	pc := &PooledConn{pool: p, name: name, rep: rep}
+	ep := rep.endpoint
+	if list := p.idle[ep]; len(list) > 0 {
 		pc.conn = list[len(list)-1]
-		p.idle[name] = list[:len(list)-1]
-		p.leased[pc.conn] = name
+		p.idle[ep] = list[:len(list)-1]
+		p.leased[pc.conn] = ep
 		p.metrics.connsIdle.Dec()
 	}
 	p.mu.Unlock()
+	rep.inflight.Add(1)
 	p.metrics.connsInUse.Inc()
 	return pc, nil
+}
+
+func (p *Pool) leaseCtx(ctx context.Context, name string) (*PooledConn, error) {
+	return p.leaseReplica(ctx, name, "", false)
 }
 
 func (p *Pool) lease(name string) (*PooledConn, error) {
@@ -321,9 +392,9 @@ func (p *Pool) Acquire(name string) (*PooledConn, error) {
 }
 
 // Release returns a lease to the pool: a clean connection goes back on the
-// idle list for reuse; a dirty (or post-Close) connection is closed.
-// Release is idempotent per lease only in the sense that callers must not
-// release the same PooledConn twice.
+// idle list for reuse; a dirty (or post-Close, or removed-replica)
+// connection is closed. Release is idempotent per lease only in the sense
+// that callers must not release the same PooledConn twice.
 func (p *Pool) Release(pc *PooledConn) {
 	if pc == nil || pc.pool != p {
 		return
@@ -331,22 +402,24 @@ func (p *Pool) Release(pc *PooledConn) {
 	p.mu.Lock()
 	if pc.conn != nil {
 		delete(p.leased, pc.conn)
-		if pc.dirty || p.closed {
+		if pc.dirty || p.closed || pc.rep.isRemoved() {
 			_ = pc.conn.Close()
 			if pc.dirty {
 				p.metrics.dirtyDiscards.Inc()
 			}
 		} else {
-			p.idle[pc.name] = append(p.idle[pc.name], pc.conn)
+			ep := pc.rep.endpoint
+			p.idle[ep] = append(p.idle[ep], pc.conn)
 			p.metrics.connsIdle.Inc()
 		}
 		pc.conn = nil
 	}
 	p.mu.Unlock()
 	p.metrics.connsInUse.Dec()
+	pc.rep.inflight.Add(-1)
 	// Free the slot last, so a waiter that gets it observes the idle list
 	// already updated.
-	<-p.slots[pc.name]
+	<-pc.rep.slots
 }
 
 // Close shuts the pool down. Idle connections are closed immediately;
@@ -379,6 +452,92 @@ func (p *Pool) Close() error {
 		}
 	}
 	return first
+}
+
+// AddReplica registers a new endpoint serving the named librarian's
+// subcollection. The grown set is installed atomically (copy-on-write) and
+// versioned through the federation epoch, like every other piece of shared
+// setup state; queries already in flight finish on the replicas they hold,
+// new leases see the new set immediately. The endpoint must be dialable
+// through the pool's dialer and must serve the same documents as the
+// librarian's other replicas — replicas are interchangeable by contract.
+// The epoch bump conservatively flushes the result cache (a rare admin
+// event; the cached answers were still valid, the flush just costs one
+// re-warm).
+func (p *Pool) AddReplica(lib, endpoint string) error {
+	rt, ok := p.routers[lib]
+	if !ok {
+		return fmt.Errorf("core: unknown librarian %q", lib)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	for name, other := range p.routers {
+		for _, r := range other.snapshot() {
+			if r.endpoint == endpoint {
+				return fmt.Errorf("core: endpoint %q already serves librarian %q", endpoint, name)
+			}
+		}
+	}
+	rt.add(newReplica(endpoint, p.max))
+	p.fed.bumpEpoch()
+	return nil
+}
+
+// RemoveReplica takes an endpoint out of the named librarian's replica set.
+// The shrunk set is installed atomically: new leases never see the removed
+// replica again, its idle connections are closed now, and exchanges
+// in flight on it complete normally — their replies still count — before
+// Release closes their connections instead of parking them. Removing the
+// last replica is refused (it would leave the subcollection unreachable;
+// kill the pool instead if that is the intent).
+func (p *Pool) RemoveReplica(lib, endpoint string) error {
+	rt, ok := p.routers[lib]
+	if !ok {
+		return fmt.Errorf("core: unknown librarian %q", lib)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	if rt.replicaCount() <= 1 {
+		p.mu.Unlock()
+		return fmt.Errorf("core: cannot remove the last replica of librarian %q", lib)
+	}
+	if _, ok := rt.remove(endpoint); !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("core: librarian %q has no replica %q", lib, endpoint)
+	}
+	conns := p.idle[endpoint]
+	delete(p.idle, endpoint)
+	for range conns {
+		p.metrics.connsIdle.Dec()
+	}
+	p.fed.bumpEpoch()
+	p.mu.Unlock()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+	return nil
+}
+
+// Replicas reports the current replica set of the named librarian: one
+// status per endpoint, in the order the set was configured/grown.
+func (p *Pool) Replicas(lib string) ([]ReplicaStatus, error) {
+	rt, ok := p.routers[lib]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown librarian %q", lib)
+	}
+	set := rt.snapshot()
+	now := rt.now()
+	out := make([]ReplicaStatus, 0, len(set))
+	for _, r := range set {
+		out = append(out, r.status(now))
+	}
+	return out, nil
 }
 
 // SetupVocabulary fetches every librarian's vocabulary and installs the

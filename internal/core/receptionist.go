@@ -82,6 +82,16 @@ type Options struct {
 	// the rank phase for a partial result to be returned; fewer fails the
 	// query. Zero means one surviving librarian suffices.
 	MinLibrarians int
+	// HedgeAfter races a second replica when an exchange outlives this
+	// latency quantile of the librarian's recent exchanges (tracked by a
+	// streaming estimator; e.g. 0.95 hedges the slowest 5%). The first
+	// reply wins and the loser is cancelled. Requires ≥2 replicas for the
+	// librarian and takes effect only once enough latency samples exist.
+	// A hedge is not a retry (Trace.Hedges accounts it separately), never
+	// blocks behind a busy replica (it takes a connection slot only if one
+	// is free), and cannot change results — replicas serve identical
+	// subcollections. Zero, or any value outside (0,1), disables hedging.
+	HedgeAfter float64
 }
 
 // DefaultKPrime is the paper's default k' for the CI methodology.
@@ -120,6 +130,22 @@ type Config struct {
 	// with ErrOverloaded instead of queueing past their deadlines. Nil
 	// disables admission control.
 	Admission *AdmissionConfig
+	// Replicas maps a librarian name to the endpoint names (dialer keys)
+	// of the replicas serving its subcollection. Every endpoint must serve
+	// the same documents as the librarian's other replicas (replicas are
+	// interchangeable by contract — routing between them cannot change
+	// results). Librarians absent from the map get a single endpoint named
+	// after them, the pre-replication behaviour. Replica sets can be grown
+	// and shrunk live via Pool.AddReplica / Pool.RemoveReplica.
+	Replicas map[string][]string
+	// ReplicaEjectAfter is the number of consecutive exchange failures
+	// after which a replica is ejected from routing (new exchanges go to
+	// its siblings). Zero selects DefaultReplicaEjectAfter.
+	ReplicaEjectAfter int
+	// ReplicaProbeAfter is how long an ejected replica sits out before a
+	// single probe exchange is routed to it; success readmits it, failure
+	// ejects it for another window. Zero selects DefaultReplicaProbeAfter.
+	ReplicaProbeAfter time.Duration
 }
 
 // Receptionist brokers queries to a fixed set of librarians. It is a thin
@@ -248,4 +274,21 @@ func (r *Receptionist) CacheStats() (stats CacheStats, ok bool) { return r.pool.
 // Boolean evaluates expr at every librarian and unions the result sets.
 func (r *Receptionist) Boolean(expr string) (*BooleanResult, error) {
 	return r.pool.Boolean(expr)
+}
+
+// AddReplica registers a new endpoint serving the named librarian's
+// subcollection; see Pool.AddReplica.
+func (r *Receptionist) AddReplica(lib, endpoint string) error {
+	return r.pool.AddReplica(lib, endpoint)
+}
+
+// RemoveReplica takes an endpoint out of the named librarian's replica set;
+// see Pool.RemoveReplica.
+func (r *Receptionist) RemoveReplica(lib, endpoint string) error {
+	return r.pool.RemoveReplica(lib, endpoint)
+}
+
+// Replicas reports the current replica set of the named librarian.
+func (r *Receptionist) Replicas(lib string) ([]ReplicaStatus, error) {
+	return r.pool.Replicas(lib)
 }

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for the router's passive health tracking.
+const (
+	// DefaultReplicaEjectAfter is the number of consecutive exchange
+	// failures after which a replica is ejected from routing.
+	DefaultReplicaEjectAfter = 3
+	// DefaultReplicaProbeAfter is how long an ejected replica sits out
+	// before one probe exchange is allowed to test it for readmission.
+	DefaultReplicaProbeAfter = 500 * time.Millisecond
+)
+
+// hedgeMinSamples gates hedging until the latency tracker has seen enough
+// exchanges to estimate a quantile; before that a "p99" would just be the
+// max of a handful of warmup calls and hedges would fire at random.
+const hedgeMinSamples = 16
+
+// replica is one endpoint serving a subcollection. Several replicas serve
+// the same librarian (same documents, by contract); the router spreads
+// exchanges across them and routes around the ones that are failing.
+type replica struct {
+	endpoint string
+	// slots is the per-endpoint connection-slot semaphore (capacity
+	// MaxConnsPerLibrarian). Hedges take a slot only if one is free right
+	// now, which is what keeps them from queue-jumping regular exchanges.
+	slots chan struct{}
+	// inflight counts leases currently out — the load signal the
+	// power-of-two-choices pick compares.
+	inflight atomic.Int64
+
+	mu           sync.Mutex
+	consecFails  int
+	ejectedUntil time.Time // zero while healthy
+	probing      bool      // one readmission probe is in flight
+	removed      bool      // RemoveReplica was called; never selectable again
+}
+
+func newReplica(endpoint string, maxConns int) *replica {
+	return &replica{endpoint: endpoint, slots: make(chan struct{}, maxConns)}
+}
+
+// selectableAt reports whether the router may route a new exchange here:
+// healthy, or ejected but due a readmission probe that nobody has claimed.
+func (r *replica) selectableAt(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.removed {
+		return false
+	}
+	if r.ejectedUntil.IsZero() {
+		return true
+	}
+	return !r.probing && !now.Before(r.ejectedUntil)
+}
+
+// claimProbe finalises a pick: a healthy replica needs no claim; an ejected
+// one whose probe window has opened is claimed for exactly one probing
+// exchange (two concurrent picks cannot both probe it). False means the
+// replica was snatched or re-ejected between the selectable check and here.
+func (r *replica) claimProbe(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.removed {
+		return false
+	}
+	if r.ejectedUntil.IsZero() {
+		return true
+	}
+	if r.probing || now.Before(r.ejectedUntil) {
+		return false
+	}
+	r.probing = true
+	return true
+}
+
+func (r *replica) isRemoved() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.removed
+}
+
+func (r *replica) markRemoved() {
+	r.mu.Lock()
+	r.removed = true
+	r.mu.Unlock()
+}
+
+// ReplicaStatus is a point-in-time view of one replica, for inspection via
+// Pool.Replicas and the cmd status output.
+type ReplicaStatus struct {
+	Endpoint string
+	// Healthy is false while the replica is ejected from routing.
+	Healthy bool
+	// InFlight is the number of exchanges currently leased to it.
+	InFlight int
+	// ConsecutiveFailures is the current failure streak (reset on success).
+	ConsecutiveFailures int
+}
+
+func (r *replica) status(now time.Time) ReplicaStatus {
+	inflight := int(r.inflight.Load())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		Endpoint:            r.endpoint,
+		Healthy:             r.ejectedUntil.IsZero() || !now.Before(r.ejectedUntil),
+		InFlight:            inflight,
+		ConsecutiveFailures: r.consecFails,
+	}
+}
+
+// router picks which replica serves each exchange for one librarian:
+// power-of-two-choices over the healthy replicas, preferring the lower
+// in-flight count, with passive health tracking (consecutive-failure
+// ejection, timed probe readmission). The replica set itself is installed
+// atomically (copy-on-write behind an atomic pointer, the same discipline
+// the federation uses for setup state), so AddReplica/RemoveReplica never
+// block the pick path.
+type router struct {
+	lib        string
+	ejectAfter int
+	probeAfter time.Duration
+	metrics    *Metrics
+
+	// now is the router's clock; tests inject a fake so ejection windows
+	// and probe timing need no wall-clock sleeps.
+	now func() time.Time
+
+	set atomic.Pointer[[]*replica]
+
+	// rmu guards the PRNG (the only mutable pick-path state besides the
+	// replicas themselves) and serialises membership writes.
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	// latency tracks this librarian's exchange latencies for the hedge
+	// delay quantile. Replicas share one tracker: the hedge question is
+	// "is this exchange slow for this subcollection", whichever endpoint
+	// serves it.
+	latency latencyTracker
+}
+
+func newRouter(lib string, endpoints []string, maxConns, ejectAfter int, probeAfter time.Duration, m *Metrics, seed int64) *router {
+	rt := &router{
+		lib:        lib,
+		ejectAfter: ejectAfter,
+		probeAfter: probeAfter,
+		metrics:    m,
+		now:        time.Now,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+	set := make([]*replica, len(endpoints))
+	for i, ep := range endpoints {
+		set[i] = newReplica(ep, maxConns)
+	}
+	rt.set.Store(&set)
+	return rt
+}
+
+func (rt *router) snapshot() []*replica { return *rt.set.Load() }
+
+// replicaCount is the size of the current set, removed replicas excluded.
+func (rt *router) replicaCount() int {
+	n := 0
+	for _, r := range rt.snapshot() {
+		if !r.isRemoved() {
+			n++
+		}
+	}
+	return n
+}
+
+// pick returns the replica to serve the next exchange. avoid names an
+// endpoint to route around when alternatives exist — retries avoid the
+// endpoint that just failed them, hedges avoid the primary they are racing.
+// When every replica is ejected the router fails open and routes to a
+// non-removed replica anyway: a wrong guess costs one retry, refusing would
+// cost the whole query. Returns nil only when every replica was removed
+// (which RemoveReplica refuses to let happen).
+func (rt *router) pick(avoid string) *replica {
+	for {
+		ptr := rt.set.Load()
+		if r := rt.pickFrom(*ptr, avoid); r != nil {
+			return r
+		}
+		if rt.set.Load() == ptr {
+			// The set really is empty of live replicas (only possible when
+			// the pool is being torn down around us).
+			return nil
+		}
+		// The snapshot went stale under membership churn — every replica in
+		// it was removed after we loaded it, while the current set moved on.
+		// Retry against the fresh set.
+	}
+}
+
+func (rt *router) pickFrom(set []*replica, avoid string) *replica {
+	now := rt.now()
+	cands := make([]*replica, 0, len(set))
+	for _, r := range set {
+		if r.endpoint != avoid && r.selectableAt(now) {
+			cands = append(cands, r)
+		}
+	}
+	if len(cands) == 0 && avoid != "" {
+		// The avoided endpoint is the only healthy one — use it.
+		for _, r := range set {
+			if r.endpoint == avoid && r.selectableAt(now) {
+				cands = append(cands, r)
+			}
+		}
+	}
+	for len(cands) > 0 {
+		r := rt.pickP2C(cands)
+		if r.claimProbe(now) {
+			return r
+		}
+		// Lost a probe-claim race; drop this replica and re-pick.
+		live := cands[:0]
+		for _, c := range cands {
+			if c != r {
+				live = append(live, c)
+			}
+		}
+		cands = live
+	}
+	// Everything is ejected (or probes are already claimed): fail open.
+	for _, r := range set {
+		if !r.isRemoved() && r.endpoint != avoid {
+			cands = append(cands, r)
+		}
+	}
+	if len(cands) == 0 {
+		for _, r := range set {
+			if !r.isRemoved() {
+				cands = append(cands, r)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return rt.pickP2C(cands)
+}
+
+// pickP2C samples two distinct candidates and returns the one with fewer
+// exchanges in flight (ties go to the first sample, which is uniform, so
+// equally loaded replicas are picked uniformly).
+func (rt *router) pickP2C(cands []*replica) *replica {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	rt.rmu.Lock()
+	i := rt.rng.Intn(len(cands))
+	j := rt.rng.Intn(len(cands) - 1)
+	rt.rmu.Unlock()
+	if j >= i {
+		j++
+	}
+	a, b := cands[i], cands[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		return b
+	}
+	return a
+}
+
+// add appends a replica to the set (copy-on-write atomic install).
+func (rt *router) add(r *replica) {
+	rt.rmu.Lock()
+	old := rt.snapshot()
+	set := make([]*replica, len(old), len(old)+1)
+	copy(set, old)
+	set = append(set, r)
+	rt.set.Store(&set)
+	rt.rmu.Unlock()
+}
+
+// remove drops the replica with the given endpoint from the set and marks
+// it removed, so in-flight leases bound to it close their connections on
+// release instead of parking them idle. Reports whether it was present.
+func (rt *router) remove(endpoint string) (*replica, bool) {
+	rt.rmu.Lock()
+	defer rt.rmu.Unlock()
+	old := rt.snapshot()
+	idx := -1
+	for i, r := range old {
+		if r.endpoint == endpoint {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	set := make([]*replica, 0, len(old)-1)
+	set = append(set, old[:idx]...)
+	set = append(set, old[idx+1:]...)
+	rt.set.Store(&set)
+	old[idx].markRemoved()
+	return old[idx], true
+}
+
+// reportSuccess records a completed exchange: the replica is healthy (a
+// previously ejected one is readmitted) and the exchange latency feeds the
+// hedge-delay quantile.
+func (rt *router) reportSuccess(r *replica, d time.Duration) {
+	r.mu.Lock()
+	readmitted := !r.ejectedUntil.IsZero()
+	r.consecFails = 0
+	r.ejectedUntil = time.Time{}
+	r.probing = false
+	r.mu.Unlock()
+	if readmitted {
+		rt.metrics.replicaReadmissions.Inc()
+	}
+	rt.latency.observe(d)
+}
+
+// reportFailure counts a failed exchange against the replica's health:
+// ejectAfter consecutive failures eject it until a probe, probeAfter later,
+// succeeds. Cancelled exchanges must not come through here — a hedge loser
+// or an abandoned query says nothing about the replica's health.
+func (rt *router) reportFailure(r *replica) {
+	now := rt.now()
+	r.mu.Lock()
+	r.consecFails++
+	wasOut := !r.ejectedUntil.IsZero()
+	wasProbe := r.probing
+	r.probing = false
+	eject := r.consecFails >= rt.ejectAfter
+	if eject {
+		r.ejectedUntil = now.Add(rt.probeAfter)
+	}
+	r.mu.Unlock()
+	// Count transitions into ejection (first crossing of the threshold, or
+	// a failed readmission probe), not every failure while already out.
+	if eject && (!wasOut || wasProbe) {
+		rt.metrics.replicaEjections.Inc()
+	}
+}
+
+// hedgeDelay returns the wait before a hedge launches: the q-quantile of
+// the librarian's recent exchange latencies, or zero (no hedging yet) until
+// hedgeMinSamples exchanges have been observed.
+func (rt *router) hedgeDelay(q float64) time.Duration {
+	return rt.latency.quantile(q)
+}
+
+// Latency-tracker geometry: 64 log-spaced buckets from 50µs growing ×1.3
+// cover 50µs to ~20min, so one fixed-size array answers any quantile of any
+// realistic exchange latency within ~30% (one bucket's width).
+const (
+	latBuckets = 64
+	latGrowth  = 1.3
+)
+
+const latBase = 50 * time.Microsecond
+
+// latencyTracker is a streaming quantile estimator over exchange latencies:
+// a fixed array of log-spaced buckets bumped with atomics — no locks, no
+// allocation, safe for every exchange goroutine to feed concurrently. A
+// quantile is answered by walking the cumulative counts and returning the
+// matched bucket's upper bound, so the estimate is conservative (a hedge
+// never fires earlier than the true quantile by more than bucket rounding).
+type latencyTracker struct {
+	count   atomic.Uint64
+	buckets [latBuckets]atomic.Uint64
+}
+
+func latBucketFor(d time.Duration) int {
+	if d <= latBase {
+		return 0
+	}
+	b := int(math.Ceil(math.Log(float64(d)/float64(latBase)) / math.Log(latGrowth)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+func latUpperBound(bucket int) time.Duration {
+	return time.Duration(float64(latBase) * math.Pow(latGrowth, float64(bucket)))
+}
+
+func (lt *latencyTracker) observe(d time.Duration) {
+	lt.buckets[latBucketFor(d)].Add(1)
+	lt.count.Add(1)
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile, or
+// zero while fewer than hedgeMinSamples observations have been recorded (or
+// q is out of (0,1)). Counts are read without a snapshot; the approximation
+// error from concurrent writers is at most a few in-flight observations.
+func (lt *latencyTracker) quantile(q float64) time.Duration {
+	n := lt.count.Load()
+	if n < hedgeMinSamples || q <= 0 || q >= 1 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < latBuckets; i++ {
+		cum += lt.buckets[i].Load()
+		if cum >= rank {
+			return latUpperBound(i)
+		}
+	}
+	return latUpperBound(latBuckets - 1)
+}

@@ -24,6 +24,10 @@ type callPolicy struct {
 	backoff       time.Duration
 	allowPartial  bool
 	minLibrarians int
+	// hedge is the latency quantile beyond which an exchange races a second
+	// replica (Options.HedgeAfter); zero disables hedging. Setup exchanges
+	// run with the zero policy and therefore never hedge.
+	hedge float64
 }
 
 func policyFor(opts Options) callPolicy {
@@ -33,6 +37,12 @@ func policyFor(opts Options) callPolicy {
 		backoff:       opts.Backoff,
 		allowPartial:  opts.AllowPartial || opts.MinLibrarians > 0,
 		minLibrarians: opts.MinLibrarians,
+		hedge:         opts.HedgeAfter,
+	}
+	// A hedge quantile outside (0,1) is meaningless — treat it as off, the
+	// same forgiving normalisation the other knobs get.
+	if p.hedge <= 0 || p.hedge >= 1 {
+		p.hedge = 0
 	}
 	if p.retries < 0 {
 		p.retries = 0

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"teraphim/internal/protocol"
@@ -135,6 +137,12 @@ type exec struct {
 	// collection-selection score (already clamped to the fleet size); zero
 	// means full fan-out.
 	topR int
+
+	// hedgesLaunched/hedgesWon accumulate across this query's phases (the
+	// per-librarian exchange goroutines bump them concurrently) and are
+	// published into the Trace by callParallel.
+	hedgesLaunched atomic.Int64
+	hedgesWon      atomic.Int64
 }
 
 // callParallel sends one request to each named librarian concurrently and
@@ -197,6 +205,10 @@ func (e *exec) callParallel(trace *Trace, phase Phase, names []string, makeReq f
 	}
 	trace.Stages.Ship += maxShip
 	trace.Stages.Wait += maxWait
+	// Publish the query-cumulative hedge accounting (assignment, not add:
+	// the counters accumulate across this exec's phases into one trace).
+	trace.Hedges = int(e.hedgesLaunched.Load())
+	trace.HedgeWins = int(e.hedgesWon.Load())
 	// Keep trace ordering deterministic for tests and cost accounting; the
 	// stable sort preserves attempt order within a (phase, librarian) pair.
 	sort.SliceStable(trace.Calls, func(i, j int) bool {
@@ -228,40 +240,37 @@ func (e *exec) callParallel(trace *Trace, phase Phase, names []string, makeReq f
 	return replies, nil
 }
 
-// callLibrarian leases a connection to the named librarian and drives it
-// through a request/response exchange under the policy: on a retryable
-// error it marks the lease dirty, waits the capped exponential backoff,
-// redials and re-sends, up to policy.retries extra attempts. It returns
-// every attempt's Call record plus either the reply or the Failure that
-// exhausted the attempts. The lease is always released; a dirty or
-// half-used stream is discarded by the pool rather than reused.
+// callLibrarian drives the named librarian through a request/response
+// exchange under the policy. Each attempt leases its own replica through
+// the librarian's router — a retry after a replica failure prefers a
+// different endpoint than the one that just failed, so it usually lands on
+// a healthy sibling instead of redialling the corpse. When the policy
+// hedges, an attempt may race two replicas (attemptHedged); a hedge is not
+// a retry — its calls carry the Hedge flag and RetryAttempts skips them.
+// It returns every attempt's Call records plus either the reply or the
+// Failure that exhausted the attempts.
 func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]Call, protocol.Message, *Failure) {
-	pc, err := e.pool.leaseCtx(e.ctx, name)
-	if err != nil {
-		return nil, nil, &Failure{Librarian: name, Phase: phase, Attempts: 1, Err: err}
-	}
-	defer e.pool.Release(pc)
 	maxAttempts := e.policy.retries + 1
 	var calls []Call
 	var lastErr error
+	avoid := ""
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if attempt > 1 {
 			if !sleepCtx(e.ctx, backoffDelay(e.policy.backoff, attempt-1)) {
 				return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt - 1, Err: e.ctx.Err()}
 			}
 		}
-		if err := pc.ensure(); err != nil {
-			lastErr = err
-			continue
-		}
-		call, reply, err := e.exchange(pc, phase, req)
-		calls = append(calls, call)
+		got, reply, endpoint, err := e.attemptHedged(name, phase, req, avoid)
+		calls = append(calls, got...)
 		if err == nil {
 			return calls, reply, nil
 		}
 		lastErr = err
-		if dirtiesConn(err) {
-			pc.MarkDirty()
+		if endpoint != "" {
+			avoid = endpoint
+		}
+		if errors.Is(err, ErrPoolClosed) {
+			return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt, Err: err}
 		}
 		if !retryableError(err) {
 			return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt, Err: err}
@@ -276,10 +285,155 @@ func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]
 	return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: maxAttempts, Err: lastErr}
 }
 
+// attempt performs one exchange against one replica of the named librarian:
+// lease (router-picked, steering around avoid), dial if the lease came
+// without a live connection, exchange, report the outcome to the router's
+// passive health tracking, release. onLease, when non-nil, observes the
+// chosen endpoint as soon as the lease is taken — the hedge path uses it to
+// route the hedge away from the primary and to count only hedges that
+// actually got a connection slot. The endpoint used is returned even on
+// failure so the retry loop can avoid it.
+func (e *exec) attempt(ctx context.Context, name string, phase Phase, req protocol.Message, avoid string, tryOnly bool, onLease func(endpoint string)) ([]Call, protocol.Message, string, error) {
+	pc, err := e.pool.leaseReplica(ctx, name, avoid, tryOnly)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	defer e.pool.Release(pc)
+	endpoint := pc.Endpoint()
+	if onLease != nil {
+		onLease(endpoint)
+	}
+	rt := e.pool.routers[name]
+	if err := pc.ensure(); err != nil {
+		// Health accounting never counts a cancelled attempt against the
+		// replica: a hedge loser or an abandoned query says nothing about
+		// the endpoint. Pool shutdown says nothing either.
+		if ctx.Err() == nil && !errors.Is(err, ErrPoolClosed) {
+			rt.reportFailure(pc.rep)
+		}
+		return nil, nil, endpoint, err
+	}
+	call, reply, err := e.exchange(ctx, pc, phase, req)
+	if err != nil {
+		if dirtiesConn(err) {
+			pc.MarkDirty()
+			if ctx.Err() == nil {
+				rt.reportFailure(pc.rep)
+			}
+		} else {
+			// A RemoteError is a completed exchange: the replica is healthy
+			// and its latency is a real observation.
+			rt.reportSuccess(pc.rep, call.Ship+call.Wait)
+		}
+		return []Call{call}, nil, endpoint, err
+	}
+	rt.reportSuccess(pc.rep, call.Ship+call.Wait)
+	return []Call{call}, reply, endpoint, nil
+}
+
+// attemptHedged is one policy attempt that may race two replicas: the
+// primary runs immediately; if the policy hedges (Options.HedgeAfter) and
+// the primary outlives the librarian's tracked latency quantile, a hedge
+// launches against a different replica and the first reply wins, the loser
+// cancelled through its context (its deadline snaps and its stream is
+// discarded as dirty). The hedge takes a connection slot only if one is
+// free right now — hedging adds no load to a saturated replica set — and a
+// hedge that never got a slot is not counted as launched.
+func (e *exec) attemptHedged(name string, phase Phase, req protocol.Message, avoid string) ([]Call, protocol.Message, string, error) {
+	rt := e.pool.routers[name]
+	var delay time.Duration
+	if q := e.policy.hedge; q > 0 && rt != nil && rt.replicaCount() > 1 {
+		delay = rt.hedgeDelay(q)
+	}
+	if delay <= 0 {
+		return e.attempt(e.ctx, name, phase, req, avoid, false, nil)
+	}
+	type outcome struct {
+		calls []Call
+		reply protocol.Message
+		ep    string
+		err   error
+		hedge bool
+	}
+	primaryCtx, cancelPrimary := context.WithCancel(e.ctx)
+	hedgeCtx, cancelHedge := context.WithCancel(e.ctx)
+	defer cancelPrimary()
+	defer cancelHedge()
+	results := make(chan outcome, 2)
+	var primaryEndpoint atomic.Value
+	go func() {
+		calls, reply, ep, err := e.attempt(primaryCtx, name, phase, req, avoid, false, func(ep string) {
+			primaryEndpoint.Store(ep)
+		})
+		results <- outcome{calls: calls, reply: reply, ep: ep, err: err}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var outs []outcome
+	raced := false
+	select {
+	case out := <-results:
+		// Primary finished inside its latency budget (or failed — that is
+		// the retry layer's business, not a reason to hedge).
+		outs = append(outs, out)
+	case <-timer.C:
+		raced = true
+		avoidEp, _ := primaryEndpoint.Load().(string)
+		go func() {
+			calls, reply, ep, err := e.attempt(hedgeCtx, name, phase, req, avoidEp, true, func(string) {
+				e.hedgesLaunched.Add(1)
+				e.pool.metrics.hedgeLaunched.Inc()
+			})
+			for i := range calls {
+				calls[i].Hedge = true
+			}
+			results <- outcome{calls: calls, reply: reply, ep: ep, err: err, hedge: true}
+		}()
+	}
+	if raced {
+		// First success cancels the other side; we still wait for the loser
+		// so its Call lands in the trace and no goroutine outlives the query.
+		for len(outs) < 2 {
+			out := <-results
+			outs = append(outs, out)
+			if out.err == nil && len(outs) == 1 {
+				if out.hedge {
+					cancelPrimary()
+				} else {
+					cancelHedge()
+				}
+			}
+		}
+	}
+	var calls []Call
+	var winner, primary *outcome
+	for i := range outs {
+		out := &outs[i]
+		calls = append(calls, out.calls...)
+		if !out.hedge {
+			primary = out
+		}
+		if out.err == nil && winner == nil {
+			winner = out
+		}
+	}
+	if winner != nil {
+		if winner.hedge {
+			e.hedgesWon.Add(1)
+			e.pool.metrics.hedgeWon.Inc()
+		}
+		return calls, winner.reply, winner.ep, nil
+	}
+	// Both sides failed (or the only attempt did). Surface the primary's
+	// error: the hedge's no-free-slot sentinel is not a query error, and
+	// the primary's failure is the one the retry policy should classify.
+	return calls, nil, primary.ep, primary.err
+}
+
 // exchange performs one request/response round trip on the leased
 // connection, recording traffic and librarian statistics in the Call.
-func (e *exec) exchange(pc *PooledConn, phase Phase, req protocol.Message) (Call, protocol.Message, error) {
-	call := Call{Librarian: pc.name, Phase: phase, ReqType: req.Type()}
+func (e *exec) exchange(ctx context.Context, pc *PooledConn, phase Phase, req protocol.Message) (Call, protocol.Message, error) {
+	call := Call{Librarian: pc.name, Replica: pc.Endpoint(), Phase: phase, ReqType: req.Type()}
 	conn := pc.conn
 	// Deadline errors surface from the read/write below; a fresh deadline
 	// applies to every attempt, and is cleared before the connection can
@@ -289,21 +443,33 @@ func (e *exec) exchange(pc *PooledConn, phase Phase, req protocol.Message) (Call
 	if e.policy.timeout > 0 {
 		deadline = time.Now().Add(e.policy.timeout)
 	}
-	if d, ok := e.ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
 	if !deadline.IsZero() {
 		_ = conn.SetDeadline(deadline)
 		defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	}
-	if e.ctx.Done() != nil {
+	if ctx.Done() != nil {
 		// Cancellation must wake a read blocked on a slow librarian, not
 		// just future deadline checks: snap the deadline into the past, which
 		// fails the pending I/O and marks the stream dirty for discard.
-		stop := context.AfterFunc(e.ctx, func() {
+		snapped := make(chan struct{})
+		stop := context.AfterFunc(ctx, func() {
+			defer close(snapped)
 			_ = conn.SetDeadline(time.Now().Add(-time.Second))
 		})
-		defer stop()
+		defer func() {
+			if !stop() {
+				// The snap is running (a hedge race can cancel ctx in the
+				// same instant the exchange completes cleanly): wait for it
+				// and undo it, or a healthy connection would be parked on
+				// the idle list with a poisoned deadline and fail its next
+				// exchange instantly.
+				<-snapped
+				_ = conn.SetDeadline(time.Time{})
+			}
+		}()
 	}
 	shipStart := time.Now()
 	wrote, err := protocol.WriteMessage(conn, req)

@@ -71,6 +71,13 @@ func (p Phase) String() string {
 // Call records one request/response exchange with a librarian.
 type Call struct {
 	Librarian string
+	// Replica is the endpoint that served this exchange — equal to
+	// Librarian in an unreplicated pool.
+	Replica string
+	// Hedge marks a speculative duplicate exchange raced against a slow
+	// primary (Options.HedgeAfter). Hedges are extra traffic, not retries:
+	// RetryAttempts skips them.
+	Hedge     bool
 	Phase     Phase
 	ReqType   protocol.MsgType
 	ReqBytes  int
@@ -143,6 +150,13 @@ type Trace struct {
 	LocalDocsFetched int
 	LocalDocBytes    int
 
+	// Hedges counts hedged exchanges launched for this query — the primary
+	// outlived its latency-quantile budget and a second replica was raced
+	// (only hedges that actually got a free connection slot count).
+	// HedgeWins counts those whose reply arrived first and was used.
+	Hedges    int
+	HedgeWins int
+
 	// Failures records librarians that failed every attempt of an exchange,
 	// whether or not the query went on to succeed from the survivors.
 	Failures []Failure
@@ -198,7 +212,9 @@ func (t *Trace) FailedLibrarians(phase Phase) []string {
 
 // RetryAttempts counts exchanges beyond each librarian's first attempt in a
 // phase — the extra network work fault tolerance cost this query, whether
-// the retries eventually succeeded or not.
+// the retries eventually succeeded or not. Hedge exchanges are excluded:
+// a hedge races the same attempt on a second replica rather than repeating
+// a failed one, and is accounted separately in Trace.Hedges.
 func (t *Trace) RetryAttempts() int {
 	type key struct {
 		phase Phase
@@ -206,6 +222,9 @@ func (t *Trace) RetryAttempts() int {
 	}
 	counts := make(map[key]int, len(t.Calls))
 	for _, c := range t.Calls {
+		if c.Hedge {
+			continue
+		}
 		counts[key{c.Phase, c.Librarian}]++
 	}
 	n := 0

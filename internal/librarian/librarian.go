@@ -324,7 +324,12 @@ func (s *Server) Close() error {
 // librarians over freshly created simulated links. Each Dial spawns a
 // serving goroutine owned by the returned closer; call Close to wait for
 // all sessions to end after closing the client connections.
+//
+// An endpoint name usually equals the librarian's collection name, but
+// AddEndpoint can register extra names serving the same (or an equivalent)
+// Librarian — the in-process way to stand up a replica set.
 type InProcessDialer struct {
+	mu    sync.Mutex
 	links map[string]linkSpec
 	wg    sync.WaitGroup
 }
@@ -344,9 +349,21 @@ func NewInProcessDialer(libs []*Librarian, cfg simnet.LinkConfig) *InProcessDial
 	return d
 }
 
-// SetLink overrides the link configuration for one librarian (used by the
+// AddEndpoint registers an endpoint name served by lib over its own link.
+// Several endpoints may share one Librarian (it is concurrency-safe), which
+// models replicas of a subcollection without duplicating the index. Safe to
+// call while the dialer is in use, so replica sets can grow live.
+func (d *InProcessDialer) AddEndpoint(name string, lib *Librarian, cfg simnet.LinkConfig) {
+	d.mu.Lock()
+	d.links[name] = linkSpec{lib: lib, cfg: cfg}
+	d.mu.Unlock()
+}
+
+// SetLink overrides the link configuration for one endpoint (used by the
 // WAN experiment where each site has its own round-trip time).
 func (d *InProcessDialer) SetLink(name string, cfg simnet.LinkConfig) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	spec, ok := d.links[name]
 	if !ok {
 		return fmt.Errorf("librarian: unknown peer %q", name)
@@ -358,7 +375,9 @@ func (d *InProcessDialer) SetLink(name string, cfg simnet.LinkConfig) error {
 
 // Dial implements simnet.Dialer.
 func (d *InProcessDialer) Dial(name string) (net.Conn, error) {
+	d.mu.Lock()
 	spec, ok := d.links[name]
+	d.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("librarian: unknown peer %q", name)
 	}

@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos wraps a Dialer with per-endpoint fault and latency injection, so
+// replica-failure scenarios are deterministic in tests and demos without a
+// real network to break: Kill makes an endpoint refuse new dials and severs
+// its live connections (blocked reads and delay waits wake with an error),
+// Revive brings it back, and SetDelay shapes one endpoint slow — a per-write
+// delay layered on top of whatever link the inner dialer provides — without
+// touching its siblings.
+//
+// Chaos is safe for concurrent use, including Kill/Revive/SetDelay racing
+// Dial and live traffic.
+type Chaos struct {
+	inner Dialer
+
+	mu    sync.Mutex
+	knobs map[string]*chaosKnobs
+	conns map[*chaosConn]struct{}
+}
+
+// chaosKnobs is the injected state of one endpoint. down is guarded by
+// Chaos.mu; delay is atomic so every in-flight Write reads the current value
+// without locking the whole wrapper.
+type chaosKnobs struct {
+	down  bool
+	delay atomic.Int64 // nanoseconds added per write
+}
+
+// NewChaos wraps inner; all endpoints start healthy and unshaped.
+func NewChaos(inner Dialer) *Chaos {
+	return &Chaos{
+		inner: inner,
+		knobs: make(map[string]*chaosKnobs),
+		conns: make(map[*chaosConn]struct{}),
+	}
+}
+
+// knobsFor returns (creating if needed) the endpoint's knobs; callers hold mu.
+func (c *Chaos) knobsFor(name string) *chaosKnobs {
+	k, ok := c.knobs[name]
+	if !ok {
+		k = &chaosKnobs{}
+		c.knobs[name] = k
+	}
+	return k
+}
+
+// Dial implements Dialer. Dialing a killed endpoint fails like a refused
+// connection would.
+func (c *Chaos) Dial(name string) (net.Conn, error) {
+	c.mu.Lock()
+	k := c.knobsFor(name)
+	if k.down {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("simnet: chaos: endpoint %q is down", name)
+	}
+	c.mu.Unlock()
+	inner, err := c.inner.Dial(name)
+	if err != nil {
+		return nil, err
+	}
+	cc := &chaosConn{Conn: inner, knobs: k, chaos: c, name: name, gate: newDelayGate()}
+	c.mu.Lock()
+	if k.down {
+		// Killed between the check and the registration: a dead endpoint
+		// must not hand out a live connection.
+		c.mu.Unlock()
+		_ = inner.Close()
+		return nil, fmt.Errorf("simnet: chaos: endpoint %q is down", name)
+	}
+	c.conns[cc] = struct{}{}
+	c.mu.Unlock()
+	return cc, nil
+}
+
+// Kill marks the endpoint down: new dials fail immediately and every live
+// connection to it is severed, waking blocked readers and delay waits. The
+// inner dialer is untouched — Revive restores service without rebuilding
+// anything.
+func (c *Chaos) Kill(name string) {
+	c.mu.Lock()
+	c.knobsFor(name).down = true
+	var victims []*chaosConn
+	for cc := range c.conns {
+		if cc.name == name {
+			victims = append(victims, cc)
+		}
+	}
+	c.mu.Unlock()
+	for _, cc := range victims {
+		_ = cc.Close()
+	}
+}
+
+// Revive clears Kill: new dials to the endpoint succeed again. Connections
+// severed while it was down stay dead.
+func (c *Chaos) Revive(name string) {
+	c.mu.Lock()
+	c.knobsFor(name).down = false
+	c.mu.Unlock()
+}
+
+// SetDelay adds d to every write on the endpoint's current and future
+// connections; zero removes the shaping. The delay honours write deadlines
+// and Close, so a cancelled exchange never hangs behind injected latency.
+func (c *Chaos) SetDelay(name string, d time.Duration) {
+	c.mu.Lock()
+	c.knobsFor(name).delay.Store(int64(d))
+	c.mu.Unlock()
+}
+
+// forget drops a closed connection from the live set.
+func (c *Chaos) forget(cc *chaosConn) {
+	c.mu.Lock()
+	delete(c.conns, cc)
+	c.mu.Unlock()
+}
+
+// chaosConn is one wrapped connection: it consults its endpoint's knobs on
+// every write and can be severed by Kill.
+type chaosConn struct {
+	net.Conn
+	knobs *chaosKnobs
+	chaos *Chaos
+	name  string
+	gate  *delayGate
+}
+
+func (cc *chaosConn) Write(p []byte) (int, error) {
+	if d := time.Duration(cc.knobs.delay.Load()); d > 0 {
+		if err := cc.gate.wait(d); err != nil {
+			return 0, err
+		}
+	}
+	return cc.Conn.Write(p)
+}
+
+func (cc *chaosConn) SetDeadline(t time.Time) error {
+	cc.gate.setDeadline(t)
+	return cc.Conn.SetDeadline(t)
+}
+
+func (cc *chaosConn) SetWriteDeadline(t time.Time) error {
+	cc.gate.setDeadline(t)
+	return cc.Conn.SetWriteDeadline(t)
+}
+
+func (cc *chaosConn) Close() error {
+	cc.gate.close()
+	cc.chaos.forget(cc)
+	return cc.Conn.Close()
+}
+
+var _ Dialer = (*Chaos)(nil)

@@ -58,21 +58,11 @@ type conn struct {
 
 	mu sync.Mutex // serialises writes, modelling one physical link
 
-	dmu      sync.Mutex
-	deadline time.Time     // current write deadline
-	dnotify  chan struct{} // closed (and replaced) whenever the deadline changes
-
-	closed    chan struct{}
-	closeOnce sync.Once
+	gate *delayGate
 }
 
 func newConn(c net.Conn, cfg LinkConfig) *conn {
-	return &conn{
-		Conn:    c,
-		cfg:     cfg,
-		dnotify: make(chan struct{}),
-		closed:  make(chan struct{}),
-	}
+	return &conn{Conn: c, cfg: cfg, gate: newDelayGate()}
 }
 
 // Write implements net.Conn with simulated delay.
@@ -80,23 +70,60 @@ func (c *conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if d := c.cfg.delayFor(len(p)); d > 0 {
-		if err := c.waitDelay(d); err != nil {
+		if err := c.gate.wait(d); err != nil {
 			return 0, err
 		}
 	}
 	return c.Conn.Write(p)
 }
 
-// waitDelay blocks for the transmission delay d, aborting early when the
-// write deadline passes or the connection is closed.
-func (c *conn) waitDelay(d time.Duration) error {
+// SetDeadline implements net.Conn, covering both the simulated transmission
+// wait and the underlying pipe.
+func (c *conn) SetDeadline(t time.Time) error {
+	c.gate.setDeadline(t)
+	return c.Conn.SetDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.gate.setDeadline(t)
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// Close implements net.Conn, waking any write blocked in the delay wait.
+func (c *conn) Close() error {
+	c.gate.close()
+	return c.Conn.Close()
+}
+
+// delayGate blocks callers for injected delays while honouring write
+// deadlines and Close — the machinery shared by the link-shaping conn and
+// the chaos wrapper's per-endpoint latency injection. A gate belongs to one
+// connection: setDeadline tracks the connection's write deadline, close
+// wakes every waiter with net.ErrClosed.
+type delayGate struct {
+	mu       sync.Mutex
+	deadline time.Time     // current write deadline
+	notify   chan struct{} // closed (and replaced) whenever the deadline changes
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newDelayGate() *delayGate {
+	return &delayGate{notify: make(chan struct{}), closed: make(chan struct{})}
+}
+
+// wait blocks for the delay d, aborting early when the write deadline
+// passes or the gate is closed.
+func (g *delayGate) wait(d time.Duration) error {
 	delay := time.NewTimer(d)
 	defer delay.Stop()
 	for {
-		c.dmu.Lock()
-		deadline := c.deadline
-		notify := c.dnotify
-		c.dmu.Unlock()
+		g.mu.Lock()
+		deadline := g.deadline
+		notify := g.notify
+		g.mu.Unlock()
 
 		var deadlineCh <-chan time.Time
 		var deadlineTimer *time.Timer
@@ -121,7 +148,7 @@ func (c *conn) waitDelay(d time.Duration) error {
 			if deadlineTimer != nil {
 				deadlineTimer.Stop()
 			}
-		case <-c.closed:
+		case <-g.closed:
 			if deadlineTimer != nil {
 				deadlineTimer.Stop()
 			}
@@ -130,31 +157,16 @@ func (c *conn) waitDelay(d time.Duration) error {
 	}
 }
 
-// SetDeadline implements net.Conn, covering both the simulated transmission
-// wait and the underlying pipe.
-func (c *conn) SetDeadline(t time.Time) error {
-	c.setWriteDeadline(t)
-	return c.Conn.SetDeadline(t)
+func (g *delayGate) setDeadline(t time.Time) {
+	g.mu.Lock()
+	g.deadline = t
+	close(g.notify)
+	g.notify = make(chan struct{})
+	g.mu.Unlock()
 }
 
-// SetWriteDeadline implements net.Conn.
-func (c *conn) SetWriteDeadline(t time.Time) error {
-	c.setWriteDeadline(t)
-	return c.Conn.SetWriteDeadline(t)
-}
-
-func (c *conn) setWriteDeadline(t time.Time) {
-	c.dmu.Lock()
-	c.deadline = t
-	close(c.dnotify)
-	c.dnotify = make(chan struct{})
-	c.dmu.Unlock()
-}
-
-// Close implements net.Conn, waking any write blocked in the delay wait.
-func (c *conn) Close() error {
-	c.closeOnce.Do(func() { close(c.closed) })
-	return c.Conn.Close()
+func (g *delayGate) close() {
+	g.closeOnce.Do(func() { close(g.closed) })
 }
 
 // Dialer hands out client connections to named peers, hiding whether the

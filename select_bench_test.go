@@ -38,7 +38,17 @@ var selectBenchFleetSpecs = []struct {
 	{4, 150},
 	{16, 50},
 	{64, 16},
+	// The 256-librarian cell probes the scaling wall at real fleet width.
+	// Building (and Hello-ing) 256 librarians dominates a smoke run, so the
+	// cell joins the sweep only when recording — see the guard in
+	// BenchmarkSelectThroughput.
+	{256, 4},
 }
+
+// selectBenchSmokeMaxLibs caps the sweep in smoke runs (no
+// SELECT_BENCH_RECORD): fleets larger than this are skipped so
+// `make bench-select-smoke` stays fast.
+const selectBenchSmokeMaxLibs = 64
 
 type selectBenchFleet struct {
 	dialer  *InProcessDialer
@@ -145,7 +155,11 @@ func overlapAtK(got, want []Answer, k int) float64 {
 func BenchmarkSelectThroughput(b *testing.B) {
 	const clients = 4
 	rows := make(map[string]selectBenchRow)
+	record := os.Getenv("SELECT_BENCH_RECORD") != ""
 	for _, spec := range selectBenchFleetSpecs {
+		if !record && spec.librarians > selectBenchSmokeMaxLibs {
+			continue
+		}
 		for _, topR := range sweepRs(spec.librarians) {
 			name := fmt.Sprintf("libs=%d/topR=%d", spec.librarians, topR)
 			b.Run(name, func(b *testing.B) {

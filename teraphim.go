@@ -55,6 +55,22 @@
 // waiters, requests fail fast with ErrOverloaded instead of stacking up
 // until every deadline blows.
 //
+// # Replication and hedging
+//
+// ReceptionistConfig.Replicas gives a librarian several interchangeable
+// endpoints serving the same subcollection. Each exchange is routed by a
+// per-librarian router: power-of-two-choices over the healthy replicas
+// (fewer in-flight exchanges wins), with passive health tracking — an
+// endpoint failing ReplicaEjectAfter consecutive exchanges is ejected from
+// routing and probed back in after ReplicaProbeAfter. Replica sets grow and
+// shrink live via AddReplica/RemoveReplica (versioned through the
+// federation epoch like every setup change). Options.HedgeAfter additionally
+// races a second replica when an exchange outlives a latency quantile of
+// that librarian's recent history: the first reply wins, the loser is
+// cancelled, and because replicas are interchangeable the result is
+// bit-identical — hedging only cuts the tail. Trace.Hedges and the
+// teraphim_hedge_*/teraphim_replica_* metric families account for all of it.
+//
 // # Collection selection
 //
 // At hundreds of subcollections, shipping every query to every librarian
@@ -137,8 +153,16 @@ type (
 	Analyzer = textproc.Analyzer
 	// AnalyzerOption configures NewAnalyzer.
 	AnalyzerOption = textproc.Option
+	// ReplicaStatus is a point-in-time view of one replica endpoint: health,
+	// in-flight exchanges and failure streak (Receptionist.Replicas /
+	// Pool.Replicas).
+	ReplicaStatus = core.ReplicaStatus
 	// Dialer connects a receptionist to named librarians.
 	Dialer = simnet.Dialer
+	// ChaosDialer wraps a Dialer with per-endpoint fault and latency
+	// injection (kill, revive, delay) for replica-failure drills; see
+	// NewChaosDialer.
+	ChaosDialer = simnet.Chaos
 	// TCPDialer maps librarian names to host:port addresses.
 	TCPDialer = simnet.TCPDialer
 	// InProcessDialer serves librarians over in-process (optionally
@@ -288,6 +312,13 @@ func LoadCollection(dir string) (*Librarian, error) { return librarian.Load(dir)
 func NewInProcessDialer(libs []*Librarian, cfg LinkConfig) *InProcessDialer {
 	return librarian.NewInProcessDialer(libs, cfg)
 }
+
+// NewChaosDialer wraps inner with per-endpoint fault and latency injection:
+// Kill(endpoint) makes one replica refuse dials and severs its live
+// connections, Revive restores it, SetDelay shapes it slow. It is how the
+// chaos tests (and the README's kill-a-replica demo) break individual
+// replicas deterministically without a real network.
+func NewChaosDialer(inner Dialer) *ChaosDialer { return simnet.NewChaos(inner) }
 
 // ConnectReceptionist dials the named librarians (order fixes global
 // document numbering) and performs the initial Hello exchange. It is the
