@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke bench-select bench-select-smoke bench-replica bench-replica-smoke verify
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke bench-select bench-select-smoke bench-replica bench-replica-smoke bench-wire bench-wire-smoke verify
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,9 @@ vet:
 # the unit tests, which `race` already covered.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMessage -fuzztime=$(FUZZTIME) ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzReadTaggedMessage -fuzztime=$(FUZZTIME) ./internal/protocol
 	$(GO) test -run='^$$' -fuzz=FuzzMessageRoundTrip -fuzztime=$(FUZZTIME) ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzBatchRoundTrip -fuzztime=$(FUZZTIME) ./internal/protocol
 	$(GO) test -run='^$$' -fuzz=FuzzPostingsRoundTrip -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run='^$$' -fuzz=FuzzPostingsDecodeCorrupt -fuzztime=$(FUZZTIME) ./internal/codec
 
@@ -64,6 +66,18 @@ bench-replica:
 bench-replica-smoke:
 	$(GO) test -run='^$$' -bench=ReplicaThroughput -benchtime=30x .
 
+# Regenerate BENCH_wire.json: seed vs pipelined vs batched framing on a
+# shaped WAN link, reporting queries/sec, round-trips/query, bytes/query
+# and overlap@10 against the seed wire (the writer is gated on
+# WIRE_BENCH_RECORD).
+bench-wire:
+	WIRE_BENCH_RECORD=1 $(GO) test -run='^$$' -bench=WireThroughput .
+
+# Short form for verify: exercises every wire cell — negotiation, demux,
+# batching — without touching the recorded BENCH_wire.json numbers.
+bench-wire-smoke:
+	$(GO) test -run='^$$' -bench=WireThroughput -benchtime=20x .
+
 # Full search-kernel sweep with allocation reporting; regenerates the
 # "current" section of BENCH_search.json (the "baseline" section records
 # the pre-kernel evaluator and is preserved).
@@ -75,5 +89,5 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SearchKernel -benchmem -benchtime=0.05s .
 
-verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke bench-select-smoke bench-replica-smoke
+verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke bench-select-smoke bench-replica-smoke bench-wire-smoke
 	@echo "verify: OK"

@@ -74,6 +74,7 @@ func run(w io.Writer, args []string) error {
 	queueWait := fs.Duration("queuewait", 0, "with -inflight, max time a query waits for admission (0 = until deadline)")
 	topR := fs.Int("topr", 0, "collection selection: contact only the R librarians ranked most promising per query (0 = full fan-out)")
 	hedge := fs.Float64("hedge", 0, "race a second replica when an exchange outlives this latency quantile, e.g. 0.95 (0 = off; needs replicated -libs)")
+	batchWindow := fs.Duration("batchwindow", 0, "coalesce concurrent rank queries to the same librarian within this window into one frame (0 = off; needs librarians that grant batching)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +124,7 @@ func run(w io.Writer, args []string) error {
 		MinLibrarians:      *minLibs,
 		TopR:               *topR,
 		HedgeAfter:         *hedge,
+		BatchWindow:        *batchWindow,
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -192,6 +194,12 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "hedges          %10d launched, %d won (HedgeAfter %.2f)\n",
 			report.hedges, report.hedgeWins, *hedge)
 	}
+	if report.completed > 0 {
+		fmt.Fprintf(w, "wire rt/query   %10.2f round trips (setup excluded)\n",
+			float64(report.wireTrips)/float64(report.completed))
+		fmt.Fprintf(w, "wire bytes/query%10.0f\n",
+			float64(report.wireBytes)/float64(report.completed))
+	}
 	return nil
 }
 
@@ -252,6 +260,10 @@ type report struct {
 	// Hedging tallies from the pool metrics: replica races launched and won.
 	hedges    uint64
 	hedgeWins uint64
+	// Wire cost of the timed run (setup exchanges excluded): completed
+	// librarian round trips and bytes moved in either direction.
+	wireTrips uint64
+	wireBytes uint64
 }
 
 // drive runs the benchmark: one pool is set up once (Hello + whatever the
@@ -281,6 +293,11 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 		}
 		setupTrips += trace.RoundTrips(core.PhaseSetup)
 	}
+
+	// Snapshot the wire counters after setup so the report's per-query
+	// figures cover only the timed run.
+	m := pool.Metrics()
+	wireTrips0, wireIn0, wireOut0 := m.WireRoundTrips(), m.WireBytesIn(), m.WireBytesOut()
 
 	work := make(chan int)
 	go func() {
@@ -346,7 +363,9 @@ func drive(dialer simnet.Dialer, names []string, mode core.Mode, queries []strin
 	rep := report{completed: len(latencies), setupTrips: setupTrips, elapsed: elapsed,
 		degraded: degraded, libFailures: libFailures, retried: retried,
 		cacheHits: cacheHits, shed: shed, askedSum: askedSum,
-		hedges: pool.Metrics().HedgesLaunched(), hedgeWins: pool.Metrics().HedgesWon()}
+		hedges: pool.Metrics().HedgesLaunched(), hedgeWins: pool.Metrics().HedgesWon(),
+		wireTrips: m.WireRoundTrips() - wireTrips0,
+		wireBytes: (m.WireBytesIn() - wireIn0) + (m.WireBytesOut() - wireOut0)}
 	if elapsed > 0 {
 		rep.throughput = float64(len(latencies)) / elapsed.Seconds()
 	}

@@ -37,7 +37,10 @@ func haltAfter(lib *librarian.Librarian, n int) func() (net.Conn, error) {
 }
 
 // librarianHandle proxies one message through a real librarian via an
-// internal pipe session.
+// internal pipe session. The proxy itself speaks only the seed framing, so —
+// like any protocol-translating middlebox — it must mask the pipelining
+// grant out of a relayed HelloReply: the client would otherwise switch to
+// tagged frames the proxy cannot parse.
 func librarianHandle(lib *librarian.Librarian, msg protocol.Message) protocol.Message {
 	c1, c2 := net.Pipe()
 	done := make(chan protocol.Message, 1)
@@ -52,7 +55,11 @@ func librarianHandle(lib *librarian.Librarian, msg protocol.Message) protocol.Me
 	}()
 	_ = lib.ServeConn(c2)
 	c2.Close()
-	return <-done
+	reply := <-done
+	if hr, ok := reply.(*protocol.HelloReply); ok {
+		hr.Features &^= protocol.FeaturePipelining
+	}
+	return reply
 }
 
 func buildFailureLibs(t *testing.T) (*librarian.Librarian, *librarian.Librarian) {

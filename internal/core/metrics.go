@@ -40,6 +40,13 @@ type Metrics struct {
 	connsIdle     *obs.Gauge
 	dirtyDiscards *obs.Counter
 
+	// Wire families: actual frames and bytes on the network, as opposed to
+	// the per-query Trace view — batching makes one frame answer several
+	// queries, so wireRoundTrips falls below Trace round-trip counts.
+	wireRoundTrips *obs.Counter
+	wireBytesIn    *obs.Counter
+	wireBytesOut   *obs.Counter
+
 	// Result-cache families: hits answered with zero librarian round trips,
 	// misses that fell through to the full pipeline, LRU evictions, and
 	// epoch invalidations (setup re-runs, librarian collection swaps).
@@ -114,6 +121,13 @@ func newMetrics(reg *obs.Registry) *Metrics {
 	m.dirtyDiscards = reg.Counter("teraphim_pool_dirty_discards_total",
 		"Connections discarded because their stream was interrupted mid-message.", "")
 
+	m.wireRoundTrips = reg.Counter("teraphim_wire_round_trips_total",
+		"Request/reply frame pairs actually exchanged on the wire (batched queries share one).", "")
+	m.wireBytesIn = reg.Counter("teraphim_wire_bytes_in_total",
+		"Reply bytes read off the wire, framing included.", "")
+	m.wireBytesOut = reg.Counter("teraphim_wire_bytes_out_total",
+		"Request bytes written to the wire, framing included.", "")
+
 	m.cacheHits = reg.Counter("teraphim_cache_hits_total",
 		"Queries answered from the result cache with zero librarian round trips.", "")
 	m.cacheMisses = reg.Counter("teraphim_cache_misses_total",
@@ -166,6 +180,20 @@ func (m *Metrics) HedgesLaunched() uint64 { return m.hedgeLaunched.Value() }
 // HedgesWon returns the cumulative count of hedged exchanges whose reply
 // arrived first and was used (teraphim_hedge_won_total).
 func (m *Metrics) HedgesWon() uint64 { return m.hedgeWon.Value() }
+
+// WireRoundTrips returns the cumulative count of request/reply frame pairs
+// actually exchanged on the wire (teraphim_wire_round_trips_total). Batching
+// answers several queries per pair, so this divided by queries served is the
+// round-trips-per-query figure the paper's cost model charges for.
+func (m *Metrics) WireRoundTrips() uint64 { return m.wireRoundTrips.Value() }
+
+// WireBytesIn returns cumulative reply bytes read off the wire, framing
+// included (teraphim_wire_bytes_in_total).
+func (m *Metrics) WireBytesIn() uint64 { return m.wireBytesIn.Value() }
+
+// WireBytesOut returns cumulative request bytes written to the wire, framing
+// included (teraphim_wire_bytes_out_total).
+func (m *Metrics) WireBytesOut() uint64 { return m.wireBytesOut.Value() }
 
 // observeQuery folds one completed (or failed) query into the counters and
 // stage histograms, and emits the slow-query line when the pool is

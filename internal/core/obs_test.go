@@ -10,6 +10,7 @@ import (
 
 	"teraphim/internal/librarian"
 	"teraphim/internal/obs"
+	"teraphim/internal/protocol"
 	"teraphim/internal/simnet"
 )
 
@@ -191,7 +192,7 @@ func TestLibrarianMetricsMatchTraces(t *testing.T) {
 
 // slowFixture is a deployment whose links add real propagation delay, so a
 // query that is not cancelled takes hundreds of milliseconds.
-func slowFixture(t *testing.T, latency time.Duration) *Receptionist {
+func slowFixture(t *testing.T, latency time.Duration, cfg Config) *Receptionist {
 	t.Helper()
 	corpus, order := smallCorpus(t)
 	a := testAnalyzer()
@@ -204,7 +205,8 @@ func slowFixture(t *testing.T, latency time.Duration) *Receptionist {
 		libs = append(libs, lib)
 	}
 	dialer := librarian.NewInProcessDialer(libs, simnet.LinkConfig{Latency: latency})
-	recep, err := Connect(dialer, order, Config{Analyzer: a})
+	cfg.Analyzer = a
+	recep, err := Connect(dialer, order, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,44 +219,60 @@ func slowFixture(t *testing.T, latency time.Duration) *Receptionist {
 
 // TestQueryContextCancelsMidFlight cancels a query while its exchanges are
 // blocked on slow links and checks it returns promptly with
-// context.Canceled, without leaking pooled connections.
+// context.Canceled, without leaking pooled connections. The discard
+// accounting differs by wire: the pipelined framing abandons just the
+// cancelled exchange's tag and keeps the connection (no dirty discards),
+// while the seed framing must throw the whole interrupted stream away.
 func TestQueryContextCancelsMidFlight(t *testing.T) {
 	const latency = 250 * time.Millisecond
-	recep := slowFixture(t, latency)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		// minDirty/maxDirty bound teraphim_pool_dirty_discards_total after
+		// the cancelled query.
+		minDirty, maxDirty float64
+	}{
+		{"pipelined", Config{}, 0, 0},
+		{"legacy", Config{WireFeatures: protocol.FeatureNone}, 1, 1 << 20},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			recep := slowFixture(t, latency, tc.cfg)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	timer := time.AfterFunc(30*time.Millisecond, cancel)
-	defer timer.Stop()
-	start := time.Now()
-	_, err := recep.QueryContext(ctx, ModeCN, "alpha federal", 5, Options{})
-	elapsed := time.Since(start)
-	if err == nil {
-		t.Fatal("cancelled query: want error")
-	}
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
-	}
-	// An uncancelled CN query pays at least two one-way latencies (500ms
-	// here); prompt cancellation must return far sooner.
-	if elapsed >= latency {
-		t.Errorf("cancelled query returned after %v, want < %v", elapsed, latency)
-	}
+			ctx, cancel := context.WithCancel(context.Background())
+			timer := time.AfterFunc(30*time.Millisecond, cancel)
+			defer timer.Stop()
+			start := time.Now()
+			_, err := recep.QueryContext(ctx, ModeCN, "alpha federal", 5, Options{})
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("cancelled query: want error")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
+			}
+			// An uncancelled CN query pays at least two one-way latencies
+			// (500ms here); prompt cancellation must return far sooner.
+			if elapsed >= latency {
+				t.Errorf("cancelled query returned after %v, want < %v", elapsed, latency)
+			}
 
-	// The interrupted streams were discarded, not leaked: the pool still
-	// has every slot, and a fresh query succeeds.
-	vals := promValues(t, recep.Metrics().Registry())
-	if got := vals["teraphim_pool_conns_in_use"]; got != 0 {
-		t.Errorf("conns_in_use = %v after cancelled query, want 0", got)
-	}
-	if got := vals["teraphim_pool_dirty_discards_total"]; got < 1 {
-		t.Errorf("dirty_discards = %v, want >= 1 (cancellation interrupts streams)", got)
-	}
-	res, err := recep.Query(ModeCN, "alpha federal", 5, Options{})
-	if err != nil {
-		t.Fatalf("query after cancellation: %v", err)
-	}
-	if len(res.Answers) == 0 {
-		t.Fatal("query after cancellation returned no answers")
+			// The interrupted exchanges were abandoned, not leaked: the pool
+			// still has every slot, and a fresh query succeeds.
+			vals := promValues(t, recep.Metrics().Registry())
+			if got := vals["teraphim_pool_conns_in_use"]; got != 0 {
+				t.Errorf("conns_in_use = %v after cancelled query, want 0", got)
+			}
+			if got := vals["teraphim_pool_dirty_discards_total"]; got < tc.minDirty || got > tc.maxDirty {
+				t.Errorf("dirty_discards = %v, want in [%v, %v]", got, tc.minDirty, tc.maxDirty)
+			}
+			res, err := recep.Query(ModeCN, "alpha federal", 5, Options{})
+			if err != nil {
+				t.Fatalf("query after cancellation: %v", err)
+			}
+			if len(res.Answers) == 0 {
+				t.Fatal("query after cancellation returned no answers")
+			}
+		})
 	}
 }
 

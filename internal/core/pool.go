@@ -48,6 +48,14 @@ type Pool struct {
 	fed    *Federation
 	dialer simnet.Dialer
 	max    int
+	// features is the wire feature set requested in every Hello (already
+	// sentinel-masked: zero means the seed protocol, no negotiation bytes).
+	features protocol.Features
+	// depth bounds concurrent exchanges per pipelined connection.
+	depth int
+	// batch coalesces concurrent rank-phase queries to the same librarian
+	// into BatchQuery frames; nil unless batching is requested.
+	batch *batcher
 
 	// routers[name] picks the replica endpoint serving each exchange. The
 	// map's keys are immutable after NewPool; the replica sets behind them
@@ -114,10 +122,24 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 	if probeAfter <= 0 {
 		probeAfter = DefaultReplicaProbeAfter
 	}
+	features := cfg.WireFeatures
+	if features == 0 {
+		features = DefaultWireFeatures
+	}
+	// Wire() strips the FeatureNone sentinel: a caller pinning the seed
+	// protocol ends up with zero bits, which encodes as a seed-identical
+	// Hello and never upgrades a connection.
+	features = features.Wire()
+	depth := cfg.PipelineDepth
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
 	p := &Pool{
 		fed:           fed,
 		dialer:        dialer,
 		max:           max,
+		features:      features,
+		depth:         depth,
 		routers:       make(map[string]*router, len(names)),
 		done:          make(chan struct{}),
 		metrics:       newMetrics(reg),
@@ -160,7 +182,7 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 		// The router PRNG seed is derived from the librarian's position, so
 		// replica selection is deterministic given a fixed query schedule —
 		// the property tests rely on it, production does not care.
-		p.routers[name] = newRouter(name, endpoints, max, ejectAfter, probeAfter, p.metrics, int64(i)+1)
+		p.routers[name] = newRouter(name, endpoints, max, depth, ejectAfter, probeAfter, p.metrics, int64(i)+1)
 	}
 	for name := range cfg.Replicas {
 		if _, ok := fed.byName[name]; !ok {
@@ -171,10 +193,13 @@ func NewPool(dialer simnet.Dialer, names []string, cfg Config) (*Pool, error) {
 	// Hello exchange: one call per librarian, zero policy (setup is never
 	// partial — see DESIGN.md). The libMeta writes below happen before the
 	// Pool escapes to any other goroutine.
+	if features.Has(protocol.FeatureBatching) {
+		p.batch = newBatcher(p)
+	}
 	e := &exec{ctx: context.Background(), fed: fed, pool: p}
 	var trace Trace
 	replies, err := e.callParallel(&trace, PhaseSetup, names, func(string) protocol.Message {
-		return &protocol.Hello{}
+		return &protocol.Hello{Features: features}
 	})
 	if err != nil {
 		p.Close()
@@ -440,11 +465,19 @@ func (p *Pool) Close() error {
 		conns = append(conns, list...)
 	}
 	p.idle = make(map[string][]net.Conn)
-	p.metrics.connsIdle.Set(0)
 	for conn := range p.leased {
 		conns = append(conns, conn)
 	}
 	p.mu.Unlock()
+	// Pipelined connections first: their fail() settles every pending
+	// exchange and does its own gauge accounting, so the idle-gauge reset
+	// below only zeroes what the legacy conns still held.
+	for _, rt := range p.routers {
+		for _, r := range rt.snapshot() {
+			r.pipes.closeAll()
+		}
+	}
+	p.metrics.connsIdle.Set(0)
 	var first error
 	for _, conn := range conns {
 		if err := conn.Close(); err != nil && first == nil {
@@ -481,7 +514,7 @@ func (p *Pool) AddReplica(lib, endpoint string) error {
 			}
 		}
 	}
-	rt.add(newReplica(endpoint, p.max))
+	rt.add(newReplica(endpoint, p.max, p.depth))
 	p.fed.bumpEpoch()
 	return nil
 }
@@ -507,7 +540,8 @@ func (p *Pool) RemoveReplica(lib, endpoint string) error {
 		p.mu.Unlock()
 		return fmt.Errorf("core: cannot remove the last replica of librarian %q", lib)
 	}
-	if _, ok := rt.remove(endpoint); !ok {
+	removed, ok := rt.remove(endpoint)
+	if !ok {
 		p.mu.Unlock()
 		return fmt.Errorf("core: librarian %q has no replica %q", lib, endpoint)
 	}
@@ -521,6 +555,9 @@ func (p *Pool) RemoveReplica(lib, endpoint string) error {
 	for _, conn := range conns {
 		_ = conn.Close()
 	}
+	// Pipelined connections drain: exchanges in flight complete (their
+	// replies still count), idle ones close now, and no new exchange starts.
+	removed.pipes.drain()
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"teraphim/internal/obs"
+	"teraphim/internal/protocol"
 	"teraphim/internal/simnet"
 	"teraphim/internal/textproc"
 )
@@ -92,6 +93,17 @@ type Options struct {
 	// is free), and cannot change results — replicas serve identical
 	// subcollections. Zero, or any value outside (0,1), disables hedging.
 	HedgeAfter float64
+	// BatchWindow lets a rank-phase request linger this long at the
+	// receptionist waiting for other clients' requests to the same
+	// librarian; everything that accumulates is shipped in one BatchQuery
+	// frame and answered in one reply, cutting round trips per query under
+	// concurrency (the paper's cost model charges per network contact).
+	// Batching cannot change results — the librarian evaluates the batched
+	// queries exactly as it would separately — and failure stays per-query.
+	// Requires the librarian to have granted FeatureBatching; zero (the
+	// default) sends every query in its own frame. A query that finds
+	// batch-mates waits at most one window, so set this well below Timeout.
+	BatchWindow time.Duration
 }
 
 // DefaultKPrime is the paper's default k' for the CI methodology.
@@ -146,6 +158,19 @@ type Config struct {
 	// single probe exchange is routed to it; success readmits it, failure
 	// ejects it for another window. Zero selects DefaultReplicaProbeAfter.
 	ReplicaProbeAfter time.Duration
+	// WireFeatures is the wire-protocol feature set requested in every
+	// Hello: FeaturePipelining multiplexes exchanges over tagged frames,
+	// FeatureBatching enables cross-client query batching. Zero requests
+	// DefaultWireFeatures; FeatureNone pins the seed protocol (untagged
+	// frames, one exchange per connection). Each librarian grants the subset
+	// it supports, so mixed-version fleets degrade per-connection to the
+	// seed framing instead of failing.
+	WireFeatures protocol.Features
+	// PipelineDepth bounds concurrent exchanges multiplexed on one
+	// pipelined connection; per-replica concurrency becomes
+	// MaxConnsPerLibrarian × PipelineDepth. Zero selects
+	// DefaultPipelineDepth. Ignored when pipelining is not negotiated.
+	PipelineDepth int
 }
 
 // Receptionist brokers queries to a fixed set of librarians. It is a thin

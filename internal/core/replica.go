@@ -32,6 +32,16 @@ type replica struct {
 	// MaxConnsPerLibrarian). Hedges take a slot only if one is free right
 	// now, which is what keeps them from queue-jumping regular exchanges.
 	slots chan struct{}
+	// tags is the pipelined-lease semaphore (capacity MaxConnsPerLibrarian ×
+	// PipelineDepth): when the endpoint negotiates FeaturePipelining, the
+	// lease unit is an exchange tag rather than a whole connection, so the
+	// same connection budget carries depth× the concurrency.
+	tags chan struct{}
+	// wire records the Hello negotiation outcome for this endpoint
+	// (wireUnknown until first contact, then wirePipelined or wireLegacy).
+	wire atomic.Int32
+	// pipes is the set of negotiated tagged connections to this endpoint.
+	pipes pipeSet
 	// inflight counts leases currently out — the load signal the
 	// power-of-two-choices pick compares.
 	inflight atomic.Int64
@@ -43,8 +53,14 @@ type replica struct {
 	removed      bool      // RemoveReplica was called; never selectable again
 }
 
-func newReplica(endpoint string, maxConns int) *replica {
-	return &replica{endpoint: endpoint, slots: make(chan struct{}, maxConns)}
+func newReplica(endpoint string, maxConns, depth int) *replica {
+	r := &replica{
+		endpoint: endpoint,
+		slots:    make(chan struct{}, maxConns),
+		tags:     make(chan struct{}, maxConns*depth),
+	}
+	r.pipes.init()
+	return r
 }
 
 // selectableAt reports whether the router may route a new exchange here:
@@ -148,7 +164,7 @@ type router struct {
 	latency latencyTracker
 }
 
-func newRouter(lib string, endpoints []string, maxConns, ejectAfter int, probeAfter time.Duration, m *Metrics, seed int64) *router {
+func newRouter(lib string, endpoints []string, maxConns, depth, ejectAfter int, probeAfter time.Duration, m *Metrics, seed int64) *router {
 	rt := &router{
 		lib:        lib,
 		ejectAfter: ejectAfter,
@@ -159,7 +175,7 @@ func newRouter(lib string, endpoints []string, maxConns, ejectAfter int, probeAf
 	}
 	set := make([]*replica, len(endpoints))
 	for i, ep := range endpoints {
-		set[i] = newReplica(ep, maxConns)
+		set[i] = newReplica(ep, maxConns, depth)
 	}
 	rt.set.Store(&set)
 	return rt

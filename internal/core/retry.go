@@ -28,6 +28,10 @@ type callPolicy struct {
 	// replica (Options.HedgeAfter); zero disables hedging. Setup exchanges
 	// run with the zero policy and therefore never hedge.
 	hedge float64
+	// batchWindow is how long a rank-phase exchange may linger at the
+	// batcher waiting for same-librarian peers (Options.BatchWindow); zero
+	// sends every query in its own frame.
+	batchWindow time.Duration
 }
 
 func policyFor(opts Options) callPolicy {
@@ -38,6 +42,7 @@ func policyFor(opts Options) callPolicy {
 		allowPartial:  opts.AllowPartial || opts.MinLibrarians > 0,
 		minLibrarians: opts.MinLibrarians,
 		hedge:         opts.HedgeAfter,
+		batchWindow:   opts.BatchWindow,
 	}
 	// A hedge quantile outside (0,1) is meaningless — treat it as off, the
 	// same forgiving normalisation the other knobs get.
@@ -56,6 +61,9 @@ func policyFor(opts Options) callPolicy {
 	}
 	if p.backoff < 0 {
 		p.backoff = 0
+	}
+	if p.batchWindow < 0 {
+		p.batchWindow = 0
 	}
 	return p
 }
@@ -113,7 +121,10 @@ func retryableError(err error) bool {
 	if errors.As(err, &remote) {
 		return remote.Retryable
 	}
-	return true
+	// A feature-negotiation mismatch is a protocol violation by the peer;
+	// re-sending the same Hello would only reproduce it.
+	var mismatch *protocol.FeatureMismatchError
+	return !errors.As(err, &mismatch)
 }
 
 // dirtiesConn reports whether err leaves the stream desynced: anything that

@@ -254,13 +254,25 @@ func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]
 	var calls []Call
 	var lastErr error
 	avoid := ""
+	// Batch-eligible exchanges go through the batcher instead of hedging:
+	// a batched frame carries other clients' queries, so racing it against a
+	// second replica would duplicate their work, not just ours.
+	batch := e.batchable(name, phase, req)
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if attempt > 1 {
 			if !sleepCtx(e.ctx, backoffDelay(e.policy.backoff, attempt-1)) {
 				return calls, nil, &Failure{Librarian: name, Phase: phase, Attempts: attempt - 1, Err: e.ctx.Err()}
 			}
 		}
-		got, reply, endpoint, err := e.attemptHedged(name, phase, req, avoid)
+		var got []Call
+		var reply protocol.Message
+		var endpoint string
+		var err error
+		if batch {
+			got, reply, err = e.pool.batch.do(e, name, req)
+		} else {
+			got, reply, endpoint, err = e.attemptHedged(name, phase, req, avoid)
+		}
 		calls = append(calls, got...)
 		if err == nil {
 			return calls, reply, nil
@@ -294,6 +306,48 @@ func (e *exec) callLibrarian(name string, phase Phase, req protocol.Message) ([]
 // actually got a connection slot. The endpoint used is returned even on
 // failure so the retry loop can avoid it.
 func (e *exec) attempt(ctx context.Context, name string, phase Phase, req protocol.Message, avoid string, tryOnly bool, onLease func(endpoint string)) ([]Call, protocol.Message, string, error) {
+	if e.pool.features.Has(protocol.FeaturePipelining) {
+		legacy := false
+		// A pick taken just before RemoveReplica swapped the set can land on
+		// a replica whose connections are draining. The legacy path served
+		// such exchanges unnoticed (the endpoint itself is still alive), so
+		// a drain must not surface as a failed attempt: re-pick against the
+		// freshly installed set, which no longer contains the removed
+		// replica. One re-pick suffices — drained replicas are never in the
+		// current set — but bound the loop against pathological churn.
+		// onLease fires once per logical attempt, not per re-pick: the hedge
+		// path counts a launched hedge in it, and a drain re-pick is still
+		// the same attempt.
+		leased := false
+		onceLease := onLease
+		if onLease != nil {
+			onceLease = func(ep string) {
+				if !leased {
+					leased = true
+					onLease(ep)
+				}
+			}
+		}
+		for tries := 0; tries < 3; tries++ {
+			calls, reply, ep, err := e.attemptPiped(ctx, name, phase, req, avoid, tryOnly, onceLease)
+			if errors.Is(err, errConnDraining) && ctx.Err() == nil {
+				continue
+			}
+			if !errors.Is(err, errWireLegacy) {
+				return calls, reply, ep, err
+			}
+			// The replica negotiated the seed framing (a mixed-version
+			// fleet): fall through to the legacy exclusive-connection path,
+			// whose idle list already holds the handshook connection.
+			legacy = true
+			break
+		}
+		if !legacy {
+			// Every re-pick landed on a draining replica (sustained churn):
+			// report the transient error and let the retry policy handle it.
+			return nil, nil, "", errConnDraining
+		}
+	}
 	pc, err := e.pool.leaseReplica(ctx, name, avoid, tryOnly)
 	if err != nil {
 		return nil, nil, "", err
@@ -478,6 +532,7 @@ func (e *exec) exchange(ctx context.Context, pc *PooledConn, phase Phase, req pr
 	if err != nil {
 		return call, nil, err
 	}
+	e.pool.metrics.wireBytesOut.Add(uint64(wrote))
 	waitStart := time.Now()
 	reply, read, err := protocol.ReadMessage(conn)
 	call.RespBytes = read
@@ -485,9 +540,19 @@ func (e *exec) exchange(ctx context.Context, pc *PooledConn, phase Phase, req pr
 	if err != nil {
 		return call, nil, err
 	}
+	e.pool.metrics.wireBytesIn.Add(uint64(read))
+	e.pool.metrics.wireRoundTrips.Inc()
+	reply, err = classifyReply(&call, reply)
+	return call, reply, err
+}
+
+// classifyReply turns a decoded reply into the exchange outcome: an
+// ErrorReply becomes a *protocol.RemoteError, and the reply's librarian-side
+// statistics and fetch traffic are recorded into the Call.
+func classifyReply(call *Call, reply protocol.Message) (protocol.Message, error) {
 	switch m := reply.(type) {
 	case *protocol.ErrorReply:
-		return call, nil, &protocol.RemoteError{Message: m.Message}
+		return nil, &protocol.RemoteError{Message: m.Message}
 	case *protocol.RankReply:
 		call.LibStats = m.Stats
 	case *protocol.BooleanReply:
@@ -498,7 +563,7 @@ func (e *exec) exchange(ctx context.Context, pc *PooledConn, phase Phase, req pr
 			call.DocBytes += len(d.Data)
 		}
 	}
-	return call, reply, nil
+	return reply, nil
 }
 
 // fetchAnswers runs the document-retrieval phase for res.Answers in place.

@@ -82,6 +82,11 @@ type Call struct {
 	ReqType   protocol.MsgType
 	ReqBytes  int
 	RespBytes int
+	// BatchSize is how many queries shared the wire frame that carried this
+	// exchange (Options.BatchWindow coalescing); zero means the exchange had
+	// its own frame. ReqBytes/RespBytes are this query's encoded items plus
+	// an even share of the batch framing overhead.
+	BatchSize int
 
 	// LibStats is the librarian-side evaluation work (rank/score calls).
 	LibStats search.Stats

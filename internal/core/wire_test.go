@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"teraphim/internal/librarian"
+	"teraphim/internal/obs"
+	"teraphim/internal/protocol"
+	"teraphim/internal/simnet"
+	"teraphim/internal/store"
+)
+
+// buildRecep wires a receptionist over corpus with the given config. mutate,
+// when non-nil, adjusts the librarians before the pool's setup Hello runs —
+// mixed-fleet tests use it to withdraw feature support.
+func buildRecep(t *testing.T, corpus map[string][]store.Document, order []string, cfg Config, mutate func([]*librarian.Librarian)) *Receptionist {
+	t.Helper()
+	a := testAnalyzer()
+	var libs []*librarian.Librarian
+	for _, name := range order {
+		lib, err := librarian.Build(name, corpus[name], librarian.BuildOptions{Analyzer: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		libs = append(libs, lib)
+	}
+	if mutate != nil {
+		mutate(libs)
+	}
+	dialer := librarian.NewInProcessDialer(libs, simnet.LinkConfig{})
+	cfg.Analyzer = a
+	recep, err := Connect(dialer, order, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		recep.Close()
+		dialer.Wait()
+	})
+	return recep
+}
+
+// eachReplica visits every replica of every librarian in the pool.
+func eachReplica(p *Pool, visit func(lib string, rep *replica)) {
+	for name, rt := range p.routers {
+		for _, rep := range *rt.set.Load() {
+			visit(name, rep)
+		}
+	}
+}
+
+// TestWireGoldenParity pins the tentpole's safety property: the pipelined
+// and batched wires are transports, not semantics — every mode must return
+// bit-identical answers whether frames are tagged, coalesced, or the seed's
+// one-exchange-per-connection framing.
+func TestWireGoldenParity(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	seed := buildRecep(t, corpus, order, Config{WireFeatures: protocol.FeatureNone}, nil)
+	piped := buildRecep(t, corpus, order, Config{}, nil)
+	for _, r := range []*Receptionist{seed, piped} {
+		if _, err := r.SetupVocabulary(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.SetupCentralIndexRemote(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The seed wire negotiated nothing; the default wire negotiated the
+	// pipelined framing on every replica.
+	eachReplica(seed.Pool(), func(lib string, rep *replica) {
+		if w := rep.wire.Load(); w != wireUnknown && w != wireLegacy {
+			t.Errorf("%s %s: FeatureNone pool negotiated wire state %d", lib, rep.endpoint, w)
+		}
+	})
+	eachReplica(piped.Pool(), func(lib string, rep *replica) {
+		if w := rep.wire.Load(); w != wirePipelined {
+			t.Errorf("%s %s: default pool wire state %d, want pipelined", lib, rep.endpoint, w)
+		}
+	})
+
+	queries := []string{"alpha federal wallstreet", "federal fiscal", "widget", "alpha w1 w2 w3"}
+	for _, tc := range []struct {
+		mode Mode
+		opts Options
+	}{
+		{ModeCN, Options{}},
+		{ModeCN, Options{BatchWindow: 2 * time.Millisecond}},
+		{ModeCV, Options{}},
+		{ModeCV, Options{BatchWindow: 2 * time.Millisecond}},
+		{ModeCI, Options{KPrime: 2}},
+	} {
+		for _, q := range queries {
+			want, err := seed.Query(tc.mode, q, 10, Options{KPrime: tc.opts.KPrime})
+			if err != nil {
+				t.Fatalf("%v %q seed wire: %v", tc.mode, q, err)
+			}
+			got, err := piped.Query(tc.mode, q, 10, tc.opts)
+			if err != nil {
+				t.Fatalf("%v %q piped wire: %v", tc.mode, q, err)
+			}
+			if !answersEqual(want.Answers, got.Answers) {
+				t.Fatalf("%v %q (batch window %v): pipelined wire diverged from seed\nseed %+v\npiped %+v",
+					tc.mode, q, tc.opts.BatchWindow, want.Answers, got.Answers)
+			}
+			piped.InvalidateCache()
+			seed.InvalidateCache()
+		}
+	}
+	if rt := piped.Metrics().WireRoundTrips(); rt == 0 {
+		t.Error("default wire recorded no round trips")
+	}
+	if in := piped.Metrics().WireBytesIn(); in == 0 {
+		t.Error("default wire recorded no inbound bytes")
+	}
+}
+
+// TestWireGoldenParityUnderFaults re-checks parity when the exchanges take
+// the ugly paths: a killed replica forcing retries, and hedges racing the
+// survivors. The answers must still match the seed wire exactly.
+func TestWireGoldenParityUnderFaults(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	seed := newReplicaFixture(t, corpus, order, 2, Config{WireFeatures: protocol.FeatureNone})
+	piped := newReplicaFixture(t, corpus, order, 2, Config{})
+	for _, name := range order {
+		seed.chaos.Kill(name + "#0")
+		piped.chaos.Kill(name + "#0")
+	}
+	for i, q := range []string{"alpha federal wallstreet", "fiscal widget", "alpha avalanche"} {
+		opts := Options{Retries: 2, Backoff: time.Millisecond}
+		if i%2 == 1 {
+			opts.HedgeAfter = 0.5
+		}
+		want, err := seed.pool.Query(ModeCN, q, 10, opts)
+		if err != nil {
+			t.Fatalf("%q seed wire: %v", q, err)
+		}
+		got, err := piped.pool.Query(ModeCN, q, 10, opts)
+		if err != nil {
+			t.Fatalf("%q piped wire: %v", q, err)
+		}
+		if !answersEqual(want.Answers, got.Answers) {
+			t.Fatalf("%q: pipelined wire diverged from seed under faults", q)
+		}
+	}
+	assertNoLeakedConns(t, piped.pool)
+}
+
+// TestMixedFleetDegradesToSeedFraming pins the rollout story: a pool asking
+// for everything against librarians supporting nothing must settle on the
+// seed framing, answer correctly, and quietly ignore batch windows (no
+// grant, no coalescing).
+func TestMixedFleetDegradesToSeedFraming(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	old := buildRecep(t, corpus, order, Config{}, func(libs []*librarian.Librarian) {
+		for _, lib := range libs {
+			lib.SupportFeatures(0)
+		}
+	})
+	modern := buildRecep(t, corpus, order, Config{}, nil)
+	eachReplica(old.Pool(), func(lib string, rep *replica) {
+		if w := rep.wire.Load(); w != wireLegacy {
+			t.Errorf("%s %s: wire state %d, want legacy after zero grant", lib, rep.endpoint, w)
+		}
+	})
+	for _, q := range []string{"alpha federal wallstreet", "federal fiscal"} {
+		want, err := modern.Query(ModeCN, q, 10, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := old.Query(ModeCN, q, 10, Options{BatchWindow: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("%q on degraded fleet: %v", q, err)
+		}
+		if !answersEqual(want.Answers, got.Answers) {
+			t.Fatalf("%q: degraded fleet diverged from modern fleet", q)
+		}
+		for _, c := range got.Trace.Calls {
+			if c.BatchSize != 0 {
+				t.Fatalf("unbatchable fleet produced a batched call: %+v", c)
+			}
+		}
+	}
+}
+
+// TestPipelineSharesOneConnection is the capacity-multiplication pin: with
+// one connection per librarian and the default depth, 16 concurrent queries
+// all complete over that single connection per replica — the seed wire
+// would need 16.
+func TestPipelineSharesOneConnection(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	f := newReplicaFixture(t, corpus, order, 1, Config{MaxConnsPerLibrarian: 1})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := f.pool.Query(ModeCN, "alpha federal wallstreet", 5, Options{})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eachReplica(f.pool, func(lib string, rep *replica) {
+		rep.pipes.mu.Lock()
+		n := len(rep.pipes.conns)
+		rep.pipes.mu.Unlock()
+		if n > 1 {
+			t.Errorf("%s %s: %d pipelined connections, want at most 1", lib, rep.endpoint, n)
+		}
+	})
+	assertNoLeakedConns(t, f.pool)
+}
+
+// TestPipeDemuxMisbehavingPeer drives a pipelined connection against a
+// hand-rolled peer: replies for unknown tags and duplicate replies are
+// discarded without disturbing other exchanges, while a corrupt frame kills
+// the connection and fails what is in flight.
+func TestPipeDemuxMisbehavingPeer(t *testing.T) {
+	newPipe := func(t *testing.T) (*pipeConn, net.Conn) {
+		t.Helper()
+		pool := &Pool{metrics: newMetrics(obs.NewRegistry()), done: make(chan struct{})}
+		rep := newReplica("X#0", 1, 8)
+		client, server := net.Pipe()
+		pc := newPipeConn(pool, rep, client, 8)
+		rep.pipes.mu.Lock()
+		rep.pipes.conns = append(rep.pipes.conns, pc)
+		rep.pipes.mu.Unlock()
+		t.Cleanup(func() {
+			pc.fail(ErrPoolClosed, false)
+			server.Close()
+		})
+		return pc, server
+	}
+
+	t.Run("unknown and duplicate tags are discarded", func(t *testing.T) {
+		pc, server := newPipe(t)
+		rd := &protocol.Reader{R: server, Tagged: true}
+		wr := &protocol.Writer{W: server, Tagged: true}
+		go func() {
+			msg, tag, _, err := rd.Read()
+			if err != nil {
+				return
+			}
+			if _, ok := msg.(*protocol.VocabRequest); !ok {
+				return
+			}
+			// An unrelated tag, the real reply, then the same tag again.
+			_, _ = wr.Write(tag+1000, &protocol.ErrorReply{Message: "misrouted"})
+			_, _ = wr.Write(tag, &protocol.VocabReply{Terms: []protocol.TermStat{{Term: "t", FT: 1}}})
+			_, _ = wr.Write(tag, &protocol.ErrorReply{Message: "duplicate"})
+			// A second exchange proves the connection survived the garbage.
+			msg, tag, _, err = rd.Read()
+			if err != nil {
+				return
+			}
+			_, _ = wr.Write(tag, &protocol.VocabReply{Terms: []protocol.TermStat{{Term: "u", FT: 2}}})
+		}()
+		_, reply, err := pc.exchange(context.Background(), time.Second, "X", PhaseSetup, &protocol.VocabRequest{})
+		if err != nil {
+			t.Fatalf("first exchange: %v", err)
+		}
+		vr, ok := reply.(*protocol.VocabReply)
+		if !ok || len(vr.Terms) != 1 || vr.Terms[0].Term != "t" {
+			t.Fatalf("first exchange got %#v, want the tag-matched VocabReply", reply)
+		}
+		_, reply, err = pc.exchange(context.Background(), time.Second, "X", PhaseSetup, &protocol.VocabRequest{})
+		if err != nil {
+			t.Fatalf("exchange after garbage frames: %v", err)
+		}
+		if vr, ok := reply.(*protocol.VocabReply); !ok || vr.Terms[0].Term != "u" {
+			t.Fatalf("second exchange got %#v", reply)
+		}
+	})
+
+	t.Run("corrupt frame kills the connection", func(t *testing.T) {
+		pc, server := newPipe(t)
+		go func() {
+			rd := &protocol.Reader{R: server, Tagged: true}
+			if _, _, _, err := rd.Read(); err != nil {
+				return
+			}
+			// A frame whose length claims more than MaxFrameSize.
+			_, _ = server.Write(bytes.Repeat([]byte{0xff}, 9))
+		}()
+		_, _, err := pc.exchange(context.Background(), time.Second, "X", PhaseSetup, &protocol.VocabRequest{})
+		if err == nil {
+			t.Fatal("exchange against a corrupt peer: want error")
+		}
+		select {
+		case <-pc.dead:
+		case <-time.After(time.Second):
+			t.Fatal("corrupt frame did not kill the connection")
+		}
+	})
+}
+
+// TestCrossClientBatching checks the receptionist-level coalescing: queries
+// from concurrent clients inside one window share frames (visible as
+// BatchSize in their traces) and return exactly what they would have
+// unbatched.
+func TestCrossClientBatching(t *testing.T) {
+	corpus, order := smallCorpus(t)
+	batched := buildRecep(t, corpus, order, Config{}, nil)
+	plain := buildRecep(t, corpus, order, Config{WireFeatures: protocol.FeatureNone}, nil)
+
+	queries := []string{
+		"alpha federal", "wallstreet widget", "fiscal finance", "aurora avalanche",
+		"alpha w1", "federal w2", "widget w3", "alpha wallstreet federal",
+	}
+	type outcome struct {
+		q   string
+		res *Result
+		err error
+	}
+	// A start barrier lines the clients up so their rank exchanges land
+	// inside one another's batch windows.
+	start := make(chan struct{})
+	outs := make(chan outcome, len(queries))
+	for _, q := range queries {
+		go func(q string) {
+			<-start
+			res, err := batched.Query(ModeCN, q, 10, Options{BatchWindow: 25 * time.Millisecond})
+			outs <- outcome{q, res, err}
+		}(q)
+	}
+	close(start)
+	maxBatch := 0
+	for range queries {
+		out := <-outs
+		if out.err != nil {
+			t.Fatalf("%q: %v", out.q, out.err)
+		}
+		for _, c := range out.res.Trace.Calls {
+			if c.BatchSize > maxBatch {
+				maxBatch = c.BatchSize
+			}
+			if c.BatchSize > 0 && c.ReqType != protocol.TypeRankQuery {
+				t.Errorf("%q: batched call with request type %v", out.q, c.ReqType)
+			}
+		}
+		want, err := plain.Query(ModeCN, out.q, 10, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !answersEqual(want.Answers, out.res.Answers) {
+			t.Fatalf("%q: batched answers diverged from seed wire", out.q)
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("8 concurrent clients in a 25ms window never shared a frame (max batch size %d)", maxBatch)
+	}
+	assertNoLeakedConns(t, batched.Pool())
+}

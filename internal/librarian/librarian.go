@@ -35,6 +35,11 @@ type Librarian struct {
 	engine *search.Engine
 	docs   *store.Store
 
+	// supported is the feature set this librarian will grant on Hello
+	// exchanges (stored as the raw bitmask). Defaults to
+	// protocol.SupportedFeatures; see SupportFeatures.
+	supported atomic.Uint32
+
 	// metrics is nil until Instrument; sessions load it once at start.
 	metrics atomic.Pointer[libMetrics]
 }
@@ -51,7 +56,18 @@ func New(name string, engine *search.Engine, docs *store.Store) (*Librarian, err
 		return nil, fmt.Errorf("librarian %q: index has %d docs, store has %d",
 			name, engine.Index().NumDocs(), docs.NumDocs())
 	}
-	return &Librarian{name: name, engine: engine, docs: docs}, nil
+	l := &Librarian{name: name, engine: engine, docs: docs}
+	l.supported.Store(uint32(protocol.SupportedFeatures))
+	return l, nil
+}
+
+// SupportFeatures restricts which protocol extensions this librarian grants
+// on Hello exchanges (default: protocol.SupportedFeatures). Pass
+// protocol.FeatureNone to serve exactly the seed wire format — the way to
+// stand in for an older build in a mixed-version fleet. Takes effect for
+// connections negotiated after the call.
+func (l *Librarian) SupportFeatures(f protocol.Features) {
+	l.supported.Store(uint32(f.Wire()))
 }
 
 // BuildOptions configures Build.
@@ -106,6 +122,12 @@ func (l *Librarian) Store() *store.Store { return l.docs }
 // ErrorReply messages and the session continues. Each session borrows one
 // search.Scratch for its lifetime, so consecutive queries on a connection
 // reuse the scoring kernel's accumulators instead of reallocating them.
+//
+// When the connection's first frame is a Hello granted FeaturePipelining,
+// the session switches to tagged framing after the HelloReply and serves
+// requests concurrently (see serveTagged). A Hello on any later frame can
+// never change the framing — the peer may already have frames in flight —
+// so mid-stream Hellos are granted everything requested except pipelining.
 func (l *Librarian) ServeConn(conn io.ReadWriter) error {
 	m := l.metrics.Load()
 	if m != nil {
@@ -114,8 +136,11 @@ func (l *Librarian) ServeConn(conn io.ReadWriter) error {
 	}
 	scratch := search.GetScratch()
 	defer scratch.Release()
+	rd := &protocol.Reader{R: conn}
+	wr := &protocol.Writer{W: conn}
+	first := true
 	for {
-		msg, read, err := protocol.ReadMessage(conn)
+		msg, _, read, err := rd.ReadReuse()
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 				return nil
@@ -123,38 +148,92 @@ func (l *Librarian) ServeConn(conn io.ReadWriter) error {
 			return fmt.Errorf("librarian %q: %w", l.name, err)
 		}
 		start := time.Now()
-		reply := l.handle(scratch, msg)
-		wrote, err := protocol.WriteMessage(conn, reply)
-		if m != nil {
-			m.requests.Inc()
-			m.bytesIn.Add(uint64(read))
-			m.bytesOut.Add(uint64(wrote))
-			m.serviceTime.ObserveDuration(time.Since(start))
-			switch r := reply.(type) {
-			case *protocol.RankReply:
-				m.search.Observe(r.Stats)
-			case *protocol.BooleanReply:
-				m.search.Observe(r.Stats)
+		var reply protocol.Message
+		upgrade := protocol.Features(0)
+		if h, ok := msg.(*protocol.Hello); ok && first {
+			granted := h.Features.Wire() & protocol.Features(l.supported.Load())
+			reply = l.hello(granted)
+			if granted.Has(protocol.FeaturePipelining) {
+				upgrade = granted
 			}
+		} else {
+			reply = l.handle(scratch, msg, 0)
 		}
+		first = false
+		wrote, err := wr.Write(0, reply)
+		m.observe(read, wrote, start, reply)
 		if err != nil {
 			return fmt.Errorf("librarian %q: %w", l.name, err)
+		}
+		if upgrade != 0 {
+			return l.serveTagged(conn, rd, m, upgrade)
 		}
 	}
 }
 
+// serveTagged is the pipelined serving loop: frames carry exchange tags,
+// requests are evaluated concurrently (each on its own pooled scratch), and
+// replies are written under a mutex with the request's tag — in completion
+// order, not arrival order.
+func (l *Librarian) serveTagged(conn io.ReadWriter, rd *protocol.Reader, m *libMetrics, features protocol.Features) error {
+	rd.Tagged = true
+	wr := &protocol.Writer{W: conn, Tagged: true}
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		// Read() decodes into a fresh message: it escapes to the handler
+		// goroutine, so the Reader's reusable buffer cannot back it.
+		msg, tag, read, err := rd.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("librarian %q: %w", l.name, err)
+		}
+		wg.Add(1)
+		go func(msg protocol.Message, tag uint32, read int) {
+			defer wg.Done()
+			start := time.Now()
+			scratch := search.GetScratch()
+			reply := l.handle(scratch, msg, features)
+			scratch.Release()
+			wmu.Lock()
+			wrote, werr := wr.Write(tag, reply)
+			wmu.Unlock()
+			m.observe(read, wrote, start, reply)
+			if werr != nil {
+				// The write side is broken; close the transport so the read
+				// loop (and the peer) notice instead of hanging.
+				if c, ok := conn.(io.Closer); ok {
+					_ = c.Close()
+				}
+			}
+		}(msg, tag, read)
+	}
+}
+
 // handle dispatches one request to the engine/store. scratch is the
-// session's reusable evaluation state.
-func (l *Librarian) handle(scratch *search.Scratch, msg protocol.Message) protocol.Message {
+// session's reusable evaluation state; conn is the feature set active on
+// the connection (it bounds what a mid-stream Hello may be granted).
+func (l *Librarian) handle(scratch *search.Scratch, msg protocol.Message, conn protocol.Features) protocol.Message {
 	switch m := msg.(type) {
 	case *protocol.Hello:
-		return l.hello()
+		granted := m.Features.Wire() & protocol.Features(l.supported.Load())
+		if !conn.Has(protocol.FeaturePipelining) {
+			// Framing is fixed after the first frame; only a connection
+			// already running tagged may report pipelining as active.
+			granted &^= protocol.FeaturePipelining
+		}
+		return l.hello(granted)
 	case *protocol.VocabRequest:
 		return l.vocab()
 	case *protocol.RankQuery:
 		return l.rank(scratch, m)
 	case *protocol.ScoreDocs:
 		return l.score(scratch, m)
+	case *protocol.BatchQuery:
+		return l.batch(scratch, m)
 	case *protocol.FetchDocs:
 		return l.fetch(m)
 	case *protocol.ModelRequest:
@@ -168,7 +247,7 @@ func (l *Librarian) handle(scratch *search.Scratch, msg protocol.Message) protoc
 	}
 }
 
-func (l *Librarian) hello() protocol.Message {
+func (l *Librarian) hello(granted protocol.Features) protocol.Message {
 	ix := l.engine.Index()
 	return &protocol.HelloReply{
 		Name:       l.name,
@@ -177,7 +256,29 @@ func (l *Librarian) hello() protocol.Message {
 		IndexBytes: ix.SizeBytes(),
 		VocabBytes: ix.DictSizeBytes(),
 		StoreBytes: l.docs.CompressedSize(),
+		Features:   granted,
 	}
+}
+
+// batch evaluates a BatchQuery item by item on the session scratch, in
+// order, so every item's result is bit-identical to the same request sent
+// alone. Failure is per item: a bad query yields an ErrorReply in its slot
+// without touching its batch peers.
+func (l *Librarian) batch(scratch *search.Scratch, m *protocol.BatchQuery) protocol.Message {
+	reply := &protocol.BatchReply{Items: make([]protocol.Message, len(m.Items))}
+	for i, it := range m.Items {
+		switch q := it.(type) {
+		case *protocol.RankQuery:
+			reply.Items[i] = l.rank(scratch, q)
+		case *protocol.ScoreDocs:
+			reply.Items[i] = l.score(scratch, q)
+		default:
+			// Unreachable off the wire (the decoder rejects non-batchable
+			// item types); kept for locally constructed messages.
+			reply.Items[i] = &protocol.ErrorReply{Message: fmt.Sprintf("unbatchable message %v", it.Type())}
+		}
+	}
+	return reply
 }
 
 func (l *Librarian) vocab() protocol.Message {

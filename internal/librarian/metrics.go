@@ -2,8 +2,10 @@ package librarian
 
 import (
 	"fmt"
+	"time"
 
 	"teraphim/internal/obs"
+	"teraphim/internal/protocol"
 	"teraphim/internal/search"
 )
 
@@ -18,6 +20,30 @@ type libMetrics struct {
 	bytesOut       *obs.Counter
 	serviceTime    *obs.Histogram
 	search         *search.Metrics
+}
+
+// observe records one answered request. Safe on a nil receiver — the
+// serving loops call it unconditionally.
+func (m *libMetrics) observe(read, wrote int, start time.Time, reply protocol.Message) {
+	if m == nil {
+		return
+	}
+	m.requests.Inc()
+	m.bytesIn.Add(uint64(read))
+	m.bytesOut.Add(uint64(wrote))
+	m.serviceTime.ObserveDuration(time.Since(start))
+	switch r := reply.(type) {
+	case *protocol.RankReply:
+		m.search.Observe(r.Stats)
+	case *protocol.BooleanReply:
+		m.search.Observe(r.Stats)
+	case *protocol.BatchReply:
+		for _, it := range r.Items {
+			if rr, ok := it.(*protocol.RankReply); ok {
+				m.search.Observe(rr.Stats)
+			}
+		}
+	}
 }
 
 // Instrument registers this librarian's instruments on reg and starts

@@ -132,19 +132,26 @@ func (u *UpdatableLibrarian) Append(newDocs []store.Document) error {
 // ServeConn answers protocol messages until EOF, dispatching each request
 // against the snapshot current when it arrives. Like Librarian.ServeConn,
 // the session holds one pooled evaluation scratch for its lifetime.
+//
+// Updatable serving never grants FeaturePipelining — the per-frame snapshot
+// dispatch stays a strictly ordered loop — so pipelining-capable peers
+// degrade to the seed framing against an updatable librarian. Batching is
+// granted: it composes with the sequential loop unchanged.
 func (u *UpdatableLibrarian) ServeConn(conn io.ReadWriter) error {
 	scratch := search.GetScratch()
 	defer scratch.Release()
+	rd := &protocol.Reader{R: conn}
+	wr := &protocol.Writer{W: conn}
 	for {
-		msg, _, err := protocol.ReadMessage(conn)
+		msg, _, _, err := rd.ReadReuse()
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("librarian %q: %w", u.name, err)
 		}
-		reply := u.Current().handle(scratch, msg)
-		if _, err := protocol.WriteMessage(conn, reply); err != nil {
+		reply := u.Current().handle(scratch, msg, 0)
+		if _, err := wr.Write(0, reply); err != nil {
 			return fmt.Errorf("librarian %q: %w", u.name, err)
 		}
 	}

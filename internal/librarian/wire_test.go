@@ -1,0 +1,180 @@
+package librarian
+
+import (
+	"net"
+	"testing"
+
+	"teraphim/internal/protocol"
+)
+
+// taggedSession negotiates a pipelined session with lib and returns the
+// client conn plus the granted features. Callers speak tagged frames on the
+// returned conn; closing it ends the session.
+func taggedSession(t *testing.T, lib *Librarian) (net.Conn, protocol.Features) {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = lib.ServeConn(server)
+	}()
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+		<-done
+	})
+	if _, err := protocol.WriteMessage(client, &protocol.Hello{
+		Features: protocol.FeaturePipelining | protocol.FeatureBatching,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := protocol.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, ok := reply.(*protocol.HelloReply)
+	if !ok {
+		t.Fatalf("Hello answered with %T", reply)
+	}
+	return client, hr.Features
+}
+
+// TestNegotiateTaggedSession checks the feature handshake and that a
+// negotiated session demultiplexes by tag: two requests written back to
+// back each get a reply carrying their own tag, whatever the completion
+// order.
+func TestNegotiateTaggedSession(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	client, granted := taggedSession(t, lib)
+	if !granted.Has(protocol.FeaturePipelining) || !granted.Has(protocol.FeatureBatching) {
+		t.Fatalf("granted features = %v, want pipelining|batching", granted)
+	}
+
+	wr := &protocol.Writer{W: client, Tagged: true}
+	rd := &protocol.Reader{R: client, Tagged: true}
+	want := map[uint32]string{5: "cats", 9: "dogs"}
+	for tag, q := range want {
+		if _, err := wr.Write(tag, &protocol.RankQuery{Query: q, K: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(want); i++ {
+		msg, tag, _, err := rd.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, ok := want[tag]
+		if !ok {
+			t.Fatalf("reply with unexpected tag %d", tag)
+		}
+		delete(want, tag)
+		rr, ok := msg.(*protocol.RankReply)
+		if !ok {
+			t.Fatalf("tag %d (%q): got %T", tag, q, msg)
+		}
+		if len(rr.Results) == 0 {
+			t.Fatalf("tag %d (%q): empty results", tag, q)
+		}
+	}
+}
+
+// TestSupportFeaturesMasksGrant pins the mixed-fleet escape hatch: a
+// librarian configured to support nothing answers a feature-laden Hello
+// with zero grants and keeps the session in the seed framing.
+func TestSupportFeaturesMasksGrant(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	lib.SupportFeatures(0)
+	client, granted := taggedSession(t, lib)
+	if granted != 0 {
+		t.Fatalf("granted features = %v, want none", granted)
+	}
+	// The session must still speak the seed framing.
+	if _, err := protocol.WriteMessage(client, &protocol.VocabRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := protocol.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(*protocol.VocabReply); !ok {
+		t.Fatalf("VocabRequest answered with %T", reply)
+	}
+}
+
+// TestHelloMidSessionNeverUpgrades checks that only a FIRST-frame Hello can
+// switch the framing: a Hello arriving later in a seed session is answered
+// in place with the pipelining bit masked, so the framing cannot change
+// under an exchange already in flight.
+func TestHelloMidSessionNeverUpgrades(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = lib.ServeConn(server)
+	}()
+	defer func() {
+		client.Close()
+		server.Close()
+		<-done
+	}()
+	if _, err := protocol.WriteMessage(client, &protocol.VocabRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := protocol.ReadMessage(client); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := protocol.WriteMessage(client, &protocol.Hello{
+		Features: protocol.FeaturePipelining | protocol.FeatureBatching,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := protocol.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, ok := reply.(*protocol.HelloReply)
+	if !ok {
+		t.Fatalf("mid-session Hello answered with %T", reply)
+	}
+	if hr.Features.Has(protocol.FeaturePipelining) {
+		t.Fatalf("mid-session Hello granted pipelining: %v", hr.Features)
+	}
+	// Still the seed framing afterwards.
+	if _, err := protocol.WriteMessage(client, &protocol.RankQuery{Query: "cats", K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _, err := protocol.ReadMessage(client); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m.(*protocol.RankReply); !ok {
+		t.Fatalf("post-Hello RankQuery answered with %T", m)
+	}
+}
+
+// TestBatchPerItemFailure checks that one bad query inside a batch gets its
+// own ErrorReply while its batch-mates are answered normally, with the
+// item-for-item ordering preserved.
+func TestBatchPerItemFailure(t *testing.T) {
+	lib := buildTestLibrarian(t)
+	reply := call(t, lib, &protocol.BatchQuery{Items: []protocol.Message{
+		&protocol.RankQuery{Query: "cats", K: 3},
+		&protocol.ScoreDocs{Query: "cats", Docs: []uint32{999}}, // no such doc
+		&protocol.RankQuery{Query: "dogs", K: 3},
+	}})
+	br, ok := reply.(*protocol.BatchReply)
+	if !ok {
+		t.Fatalf("BatchQuery answered with %T", reply)
+	}
+	if len(br.Items) != 3 || len(br.Sizes) != 3 {
+		t.Fatalf("BatchReply has %d items, %d sizes, want 3 each", len(br.Items), len(br.Sizes))
+	}
+	if rr, ok := br.Items[0].(*protocol.RankReply); !ok || len(rr.Results) == 0 {
+		t.Fatalf("item 0 = %#v, want non-empty RankReply", br.Items[0])
+	}
+	if _, ok := br.Items[1].(*protocol.ErrorReply); !ok {
+		t.Fatalf("item 1 = %T, want ErrorReply for the bad doc", br.Items[1])
+	}
+	if rr, ok := br.Items[2].(*protocol.RankReply); !ok || len(rr.Results) == 0 {
+		t.Fatalf("item 2 = %#v, want non-empty RankReply", br.Items[2])
+	}
+}

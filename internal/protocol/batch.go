@@ -1,0 +1,122 @@
+package protocol
+
+import "fmt"
+
+// BatchQuery carries several rank-phase requests from different clients in
+// one frame, amortizing a librarian round trip across them (the paper's
+// cost model charges per contact, not per query). Items are restricted to
+// the rank-phase request types — RankQuery and ScoreDocs — because those
+// are the per-query fan-out messages worth coalescing; setup and fetch
+// traffic stays unbatched.
+//
+// Sizes is populated during encode and decode with each item's encoded
+// payload length, so the receptionist can attribute wire bytes to the
+// individual queries in a batch without re-encoding.
+type BatchQuery struct {
+	Items []Message
+	Sizes []int
+}
+
+// BatchReply answers a BatchQuery item-for-item: Items[i] is the reply to
+// query i, either the matching success reply (RankReply) or an ErrorReply —
+// failure stays per-query, one bad query never poisons its batch peers.
+type BatchReply struct {
+	Items []Message
+	Sizes []int
+}
+
+// batchableQuery reports whether t may appear inside a BatchQuery.
+func batchableQuery(t MsgType) bool {
+	return t == TypeRankQuery || t == TypeScoreDocs
+}
+
+// batchableReply reports whether t may appear inside a BatchReply.
+func batchableReply(t MsgType) bool {
+	return t == TypeRankReply || t == TypeError
+}
+
+func encodeBatch(b []byte, items []Message, sizes *[]int) []byte {
+	b = putUint(b, uint64(len(items)))
+	*sizes = (*sizes)[:0]
+	for _, it := range items {
+		b = append(b, byte(it.Type()))
+		// Reserve a fixed-width spot for the item length, encode in place,
+		// then backfill: avoids encoding each item into a side buffer.
+		lenAt := len(b)
+		b = append(b, 0, 0, 0, 0)
+		b = it.encode(b)
+		sz := len(b) - lenAt - 4
+		b[lenAt] = byte(sz)
+		b[lenAt+1] = byte(sz >> 8)
+		b[lenAt+2] = byte(sz >> 16)
+		b[lenAt+3] = byte(sz >> 24)
+		*sizes = append(*sizes, sz)
+	}
+	return b
+}
+
+func decodeBatch(b []byte, t MsgType, ok func(MsgType) bool) ([]Message, []int, error) {
+	n, b, err := getUint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	hint := capHint(n, len(b), 5)
+	items := make([]Message, 0, hint)
+	sizes := make([]int, 0, hint)
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 5 {
+			return nil, nil, ErrShortPayload
+		}
+		it := MsgType(b[0])
+		sz := uint32(b[1]) | uint32(b[2])<<8 | uint32(b[3])<<16 | uint32(b[4])<<24
+		b = b[5:]
+		if !ok(it) {
+			return nil, nil, fmt.Errorf("protocol: %v item %d has type %v, not batchable", t, i, it)
+		}
+		if uint64(len(b)) < uint64(sz) {
+			return nil, nil, ErrShortPayload
+		}
+		msg, err := newMessage(it)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := msg.decode(b[:sz]); err != nil {
+			return nil, nil, fmt.Errorf("protocol: decode %v item %d (%v): %w", t, i, it, err)
+		}
+		items = append(items, msg)
+		sizes = append(sizes, int(sz))
+		b = b[sz:]
+	}
+	if err := expectEmpty(b, t); err != nil {
+		return nil, nil, err
+	}
+	return items, sizes, nil
+}
+
+// Type implements Message.
+func (*BatchQuery) Type() MsgType { return TypeBatchQuery }
+
+func (m *BatchQuery) encode(b []byte) []byte { return encodeBatch(b, m.Items, &m.Sizes) }
+
+func (m *BatchQuery) decode(b []byte) error {
+	items, sizes, err := decodeBatch(b, TypeBatchQuery, batchableQuery)
+	if err != nil {
+		return err
+	}
+	m.Items, m.Sizes = items, sizes
+	return nil
+}
+
+// Type implements Message.
+func (*BatchReply) Type() MsgType { return TypeBatchReply }
+
+func (m *BatchReply) encode(b []byte) []byte { return encodeBatch(b, m.Items, &m.Sizes) }
+
+func (m *BatchReply) decode(b []byte) error {
+	items, sizes, err := decodeBatch(b, TypeBatchReply, batchableReply)
+	if err != nil {
+		return err
+	}
+	m.Items, m.Sizes = items, sizes
+	return nil
+}

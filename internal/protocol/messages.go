@@ -21,9 +21,27 @@ func capHint(n uint64, remaining, perItem int) int {
 // Type implements Message.
 func (*Hello) Type() MsgType { return TypeHello }
 
-func (*Hello) encode(b []byte) []byte { return b }
+func (m *Hello) encode(b []byte) []byte {
+	// A zero feature request encodes to the seed's empty payload so old
+	// librarians (which reject trailing bytes) still accept it.
+	if f := m.Features.Wire(); f != 0 {
+		b = putUint(b, uint64(f))
+	}
+	return b
+}
 
-func (*Hello) decode(b []byte) error { return expectEmpty(b, TypeHello) }
+func (m *Hello) decode(b []byte) error {
+	if len(b) == 0 {
+		m.Features = 0
+		return nil
+	}
+	f, b, err := getUint(b)
+	if err != nil {
+		return err
+	}
+	m.Features = Features(f).Wire()
+	return expectEmpty(b, TypeHello)
+}
 
 // Type implements Message.
 func (*HelloReply) Type() MsgType { return TypeHelloReply }
@@ -35,6 +53,11 @@ func (m *HelloReply) encode(b []byte) []byte {
 	b = putUint(b, m.IndexBytes)
 	b = putUint(b, m.VocabBytes)
 	b = putUint(b, m.StoreBytes)
+	// Granted features trail the seed fields and are encoded only when
+	// non-zero, so an un-negotiated reply stays bit-identical to the seed.
+	if f := m.Features.Wire(); f != 0 {
+		b = putUint(b, uint64(f))
+	}
 	return b
 }
 
@@ -60,6 +83,14 @@ func (m *HelloReply) decode(b []byte) error {
 	}
 	if m.StoreBytes, b, err = getUint(b); err != nil {
 		return err
+	}
+	m.Features = 0
+	if len(b) > 0 {
+		var f uint64
+		if f, b, err = getUint(b); err != nil {
+			return err
+		}
+		m.Features = Features(f).Wire()
 	}
 	return expectEmpty(b, TypeHelloReply)
 }
@@ -95,7 +126,11 @@ func (m *VocabReply) decode(b []byte) error {
 	if err != nil {
 		return err
 	}
-	m.Terms = make([]TermStat, 0, capHint(n, len(b), 3))
+	if hint := capHint(n, len(b), 3); cap(m.Terms) < hint {
+		m.Terms = make([]TermStat, 0, hint)
+	} else {
+		m.Terms = m.Terms[:0]
+	}
 	prev := ""
 	for i := uint64(0); i < n; i++ {
 		var shared uint64
@@ -172,7 +207,11 @@ func (m *RankReply) decode(b []byte) error {
 	if err != nil {
 		return err
 	}
-	m.Results = make([]ScoredDoc, 0, capHint(n, len(b), 9))
+	if hint := capHint(n, len(b), 9); cap(m.Results) < hint {
+		m.Results = make([]ScoredDoc, 0, hint)
+	} else {
+		m.Results = m.Results[:0]
+	}
 	for i := uint64(0); i < n; i++ {
 		var doc uint64
 		if doc, b, err = getUint(b); err != nil {
@@ -215,7 +254,11 @@ func (m *ScoreDocs) decode(b []byte) error {
 	if err != nil {
 		return err
 	}
-	m.Docs = make([]uint32, 0, capHint(n, len(b), 1))
+	if hint := capHint(n, len(b), 1); cap(m.Docs) < hint {
+		m.Docs = make([]uint32, 0, hint)
+	} else {
+		m.Docs = m.Docs[:0]
+	}
 	prev := uint64(0)
 	for i := uint64(0); i < n; i++ {
 		var gap uint64
@@ -254,7 +297,11 @@ func (m *FetchDocs) decode(b []byte) error {
 	if err != nil {
 		return err
 	}
-	m.Docs = make([]uint32, 0, capHint(n, len(b), 1))
+	if hint := capHint(n, len(b), 1); cap(m.Docs) < hint {
+		m.Docs = make([]uint32, 0, hint)
+	} else {
+		m.Docs = m.Docs[:0]
+	}
 	prev := uint64(0)
 	for i := uint64(0); i < n; i++ {
 		var gap uint64
@@ -294,7 +341,11 @@ func (m *FetchReply) decode(b []byte) error {
 	if err != nil {
 		return err
 	}
-	m.Docs = make([]DocBlob, 0, capHint(n, len(b), 4))
+	if hint := capHint(n, len(b), 4); cap(m.Docs) < hint {
+		m.Docs = make([]DocBlob, 0, hint)
+	} else {
+		m.Docs = m.Docs[:0]
+	}
 	for i := uint64(0); i < n; i++ {
 		var blob DocBlob
 		var doc uint64
@@ -369,7 +420,11 @@ func (m *BooleanReply) decode(b []byte) error {
 	if err != nil {
 		return err
 	}
-	m.Docs = make([]uint32, 0, capHint(n, len(b), 1))
+	if hint := capHint(n, len(b), 1); cap(m.Docs) < hint {
+		m.Docs = make([]uint32, 0, hint)
+	} else {
+		m.Docs = m.Docs[:0]
+	}
 	prev := uint64(0)
 	for i := uint64(0); i < n; i++ {
 		var gap uint64

@@ -9,6 +9,16 @@
 //	type   u8
 //	payload
 //
+// When FeaturePipelining has been negotiated on a connection (see
+// Features), every frame after the HelloReply instead carries a tagged
+// header — a u32 exchange id between the type and the payload — so replies
+// can arrive out of order:
+//
+//	length u32 (payload bytes, excluding the 9-byte header)
+//	type   u8
+//	tag    u32
+//	payload
+//
 // Message payloads use a compact hand-rolled encoding: vbyte integers,
 // length-prefixed strings, IEEE-754 float64 bits. Every message reports its
 // encoded size back to the caller so the experiments can account for traffic
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"teraphim/internal/codec"
 	"teraphim/internal/search"
@@ -51,6 +62,8 @@ const (
 	TypeBooleanReply
 	TypeIndexRequest
 	TypeIndexReply
+	TypeBatchQuery
+	TypeBatchReply
 )
 
 func (t MsgType) String() string {
@@ -87,6 +100,10 @@ func (t MsgType) String() string {
 		return "IndexRequest"
 	case TypeIndexReply:
 		return "IndexReply"
+	case TypeBatchQuery:
+		return "BatchQuery"
+	case TypeBatchReply:
+		return "BatchReply"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -103,9 +120,17 @@ type Message interface {
 var ErrShortPayload = errors.New("protocol: truncated payload")
 
 // Hello requests librarian identification and collection statistics.
-type Hello struct{}
+// Features carries the protocol extensions the client wants to enable on
+// this connection; zero requests nothing and encodes to the seed wire bytes
+// (an empty payload), so old librarians never see the field at all.
+type Hello struct {
+	Features Features
+}
 
-// HelloReply describes a librarian's collection.
+// HelloReply describes a librarian's collection. Features is the granted
+// extension set — always a subset of the request (see Features); it is
+// encoded only when non-zero, keeping the reply bit-identical to the seed
+// format whenever nothing was negotiated.
 type HelloReply struct {
 	Name       string
 	NumDocs    uint32
@@ -113,6 +138,7 @@ type HelloReply struct {
 	IndexBytes uint64
 	VocabBytes uint64
 	StoreBytes uint64
+	Features   Features
 }
 
 // TermStat is one vocabulary entry: a term and its document frequency.
@@ -238,47 +264,236 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("protocol: remote error: %s", e.Message)
 }
 
-// WriteMessage frames and writes msg, returning the total bytes written
-// (header included).
-func WriteMessage(w io.Writer, msg Message) (int, error) {
-	payload := msg.encode(nil)
-	if len(payload) > MaxFrameSize {
-		return 0, fmt.Errorf("protocol: %v payload of %d bytes exceeds limit", msg.Type(), len(payload))
+// Frame header sizes: the seed header and the tagged (pipelined) header.
+const (
+	hdrLen       = 5
+	taggedHdrLen = 9
+)
+
+// maxPooledBuf bounds what goes back on the frame-buffer pool; a monster
+// frame (an index ship, a corrupt length) must not pin megabytes forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		*bp = (*bp)[:0]
+		bufPool.Put(bp)
 	}
-	hdr := make([]byte, 5, 5+len(payload))
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
-	hdr[4] = byte(msg.Type())
-	n, err := w.Write(append(hdr, payload...))
+}
+
+// AppendEncode appends msg's payload encoding to dst and returns the grown
+// slice — the allocation-free encode path; pair it with DecodeInto for a
+// zero-copy round trip over caller-owned scratch.
+func AppendEncode(dst []byte, msg Message) []byte { return msg.encode(dst) }
+
+// DecodeInto decodes a payload (no frame header) into msg, reusing msg's
+// slice capacity where possible. The payload must match msg's type and is
+// fully copied out — msg never aliases it.
+func DecodeInto(msg Message, payload []byte) error { return msg.decode(payload) }
+
+// AppendFrame appends one complete frame (header + payload) for msg to dst.
+// Tagged selects the pipelined framing and stamps tag into the header; the
+// seed framing ignores tag. The frame is contiguous, so a single Write of
+// the result is one syscall — header and payload together.
+func AppendFrame(dst []byte, tag uint32, tagged bool, msg Message) ([]byte, error) {
+	start := len(dst)
+	hl := hdrLen
+	if tagged {
+		hl = taggedHdrLen
+	}
+	for i := 0; i < hl; i++ {
+		dst = append(dst, 0)
+	}
+	dst = msg.encode(dst)
+	payload := len(dst) - start - hl
+	if payload > MaxFrameSize {
+		return dst[:start], fmt.Errorf("protocol: %v payload of %d bytes exceeds limit", msg.Type(), payload)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payload))
+	dst[start+4] = byte(msg.Type())
+	if tagged {
+		binary.LittleEndian.PutUint32(dst[start+5:], tag)
+	}
+	return dst, nil
+}
+
+// WriteMessage frames and writes msg in the seed framing, returning the
+// total bytes written (header included). The frame buffer is pooled: the
+// steady-state write path allocates nothing.
+func WriteMessage(w io.Writer, msg Message) (int, error) {
+	bp := getBuf()
+	b, err := AppendFrame((*bp)[:0], 0, false, msg)
+	if err != nil {
+		putBuf(bp)
+		return 0, err
+	}
+	*bp = b
+	n, err := w.Write(b)
+	putBuf(bp)
 	if err != nil {
 		return n, fmt.Errorf("protocol: write %v: %w", msg.Type(), err)
 	}
 	return n, nil
 }
 
-// ReadMessage reads one frame and decodes it, returning the message and the
-// total bytes read.
+// ReadMessage reads one seed-framing frame and decodes it, returning the
+// message and the total bytes read. The payload buffer is pooled and never
+// escapes: every decoder copies what it keeps, so the buffer is returned to
+// the pool before ReadMessage returns.
 func ReadMessage(r io.Reader) (Message, int, error) {
-	var hdr [5]byte
+	var hdr [hdrLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, 0, fmt.Errorf("protocol: read header: %w", err)
 	}
 	length := binary.LittleEndian.Uint32(hdr[:4])
 	if length > MaxFrameSize {
-		return nil, 5, fmt.Errorf("protocol: frame of %d bytes exceeds limit", length)
+		return nil, hdrLen, fmt.Errorf("protocol: frame of %d bytes exceeds limit", length)
 	}
 	msgType := MsgType(hdr[4])
-	payload := make([]byte, length)
+	bp := getBuf()
+	if cap(*bp) < int(length) {
+		*bp = make([]byte, 0, length)
+	}
+	payload := (*bp)[:length]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 5, fmt.Errorf("protocol: read %v payload: %w", msgType, err)
+		putBuf(bp)
+		return nil, hdrLen, fmt.Errorf("protocol: read %v payload: %w", msgType, err)
 	}
 	msg, err := newMessage(msgType)
 	if err != nil {
-		return nil, 5 + int(length), err
+		putBuf(bp)
+		return nil, hdrLen + int(length), err
+	}
+	err = msg.decode(payload)
+	putBuf(bp)
+	if err != nil {
+		return nil, hdrLen + int(length), fmt.Errorf("protocol: decode %v: %w", msgType, err)
+	}
+	return msg, hdrLen + int(length), nil
+}
+
+// Reader reads frames from one stream. Its payload buffer is owned by the
+// Reader and reused across frames; Tagged selects the pipelined framing.
+// A Reader is not safe for concurrent use — one per connection reader.
+type Reader struct {
+	R      io.Reader
+	Tagged bool
+
+	// hdr lives on the Reader, not the stack: a local array passed to
+	// io.ReadFull escapes through the interface and would cost one heap
+	// allocation per frame on the steady-state read path.
+	hdr   [taggedHdrLen]byte
+	buf   []byte
+	reuse map[MsgType]Message
+}
+
+// readPayload reads one frame header and payload into the Reader's buffer.
+// The returned payload slice is valid until the next read.
+func (rd *Reader) readPayload() (MsgType, uint32, []byte, int, error) {
+	hdr := &rd.hdr
+	hl := hdrLen
+	if rd.Tagged {
+		hl = taggedHdrLen
+	}
+	if _, err := io.ReadFull(rd.R, hdr[:hl]); err != nil {
+		return 0, 0, nil, 0, fmt.Errorf("protocol: read header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	if length > MaxFrameSize {
+		return 0, 0, nil, hl, fmt.Errorf("protocol: frame of %d bytes exceeds limit", length)
+	}
+	t := MsgType(hdr[4])
+	var tag uint32
+	if rd.Tagged {
+		tag = binary.LittleEndian.Uint32(hdr[5:9])
+	}
+	if cap(rd.buf) < int(length) {
+		rd.buf = make([]byte, length)
+	}
+	payload := rd.buf[:length]
+	if _, err := io.ReadFull(rd.R, payload); err != nil {
+		return t, tag, nil, hl, fmt.Errorf("protocol: read %v payload: %w", t, err)
+	}
+	return t, tag, payload, hl + int(length), nil
+}
+
+// Read reads and decodes one frame into a fresh message — the demultiplexer
+// path, where the message escapes to another goroutine.
+func (rd *Reader) Read() (Message, uint32, int, error) {
+	t, tag, payload, n, err := rd.readPayload()
+	if err != nil {
+		return nil, tag, n, err
+	}
+	msg, err := newMessage(t)
+	if err != nil {
+		return nil, tag, n, err
 	}
 	if err := msg.decode(payload); err != nil {
-		return nil, 5 + int(length), fmt.Errorf("protocol: decode %v: %w", msgType, err)
+		return nil, tag, n, fmt.Errorf("protocol: decode %v: %w", t, err)
 	}
-	return msg, 5 + int(length), nil
+	return msg, tag, n, nil
+}
+
+// ReadReuse reads and decodes one frame into a per-type message struct
+// owned by the Reader, reusing its field capacity across frames — the
+// serving-loop path. The returned message (and everything it references) is
+// valid only until the next ReadReuse call.
+func (rd *Reader) ReadReuse() (Message, uint32, int, error) {
+	t, tag, payload, n, err := rd.readPayload()
+	if err != nil {
+		return nil, tag, n, err
+	}
+	if rd.reuse == nil {
+		rd.reuse = make(map[MsgType]Message, 8)
+	}
+	msg, ok := rd.reuse[t]
+	if !ok {
+		msg, err = newMessage(t)
+		if err != nil {
+			return nil, tag, n, err
+		}
+		rd.reuse[t] = msg
+	}
+	if err := msg.decode(payload); err != nil {
+		return nil, tag, n, fmt.Errorf("protocol: decode %v: %w", t, err)
+	}
+	return msg, tag, n, nil
+}
+
+// Writer frames messages onto one stream with a reused encode buffer. Each
+// Write issues exactly one w.Write call with the contiguous frame. A Writer
+// is not safe for concurrent use — serialise callers externally.
+type Writer struct {
+	W      io.Writer
+	Tagged bool
+
+	buf []byte
+}
+
+// Write frames and writes msg (tag is ignored in the seed framing),
+// returning the bytes written.
+func (wr *Writer) Write(tag uint32, msg Message) (int, error) {
+	b, err := AppendFrame(wr.buf[:0], tag, wr.Tagged, msg)
+	if err != nil {
+		return 0, err
+	}
+	if cap(b) <= maxPooledBuf {
+		wr.buf = b
+	} else {
+		wr.buf = nil
+	}
+	n, err := wr.W.Write(b)
+	if err != nil {
+		return n, fmt.Errorf("protocol: write %v: %w", msg.Type(), err)
+	}
+	return n, nil
 }
 
 func newMessage(t MsgType) (Message, error) {
@@ -315,6 +530,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &IndexRequest{}, nil
 	case TypeIndexReply:
 		return &IndexReply{}, nil
+	case TypeBatchQuery:
+		return &BatchQuery{}, nil
+	case TypeBatchReply:
+		return &BatchReply{}, nil
 	default:
 		return nil, fmt.Errorf("protocol: unknown message type %d", t)
 	}
@@ -436,18 +655,26 @@ func putStats(b []byte, s search.Stats) []byte {
 
 func getStats(b []byte) (search.Stats, []byte, error) {
 	var s search.Stats
-	vals := make([]uint64, 5)
+	var v uint64
 	var err error
-	for i := range vals {
-		if vals[i], b, err = getUint(b); err != nil {
-			return s, b, err
-		}
+	if v, b, err = getUint(b); err != nil {
+		return s, b, err
 	}
-	s.TermsLooked = int(vals[0])
-	s.ListsFetched = int(vals[1])
-	s.PostingsDecoded = vals[2]
-	s.IndexBytesRead = vals[3]
-	s.CandidateDocs = int(vals[4])
+	s.TermsLooked = int(v)
+	if v, b, err = getUint(b); err != nil {
+		return s, b, err
+	}
+	s.ListsFetched = int(v)
+	if s.PostingsDecoded, b, err = getUint(b); err != nil {
+		return s, b, err
+	}
+	if s.IndexBytesRead, b, err = getUint(b); err != nil {
+		return s, b, err
+	}
+	if v, b, err = getUint(b); err != nil {
+		return s, b, err
+	}
+	s.CandidateDocs = int(v)
 	return s, b, nil
 }
 

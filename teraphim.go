@@ -91,6 +91,7 @@ import (
 	"teraphim/internal/index"
 	"teraphim/internal/librarian"
 	"teraphim/internal/obs"
+	"teraphim/internal/protocol"
 	"teraphim/internal/search"
 	"teraphim/internal/simnet"
 	"teraphim/internal/store"
@@ -184,6 +185,25 @@ const (
 	ModeCN = core.ModeCN
 	ModeCV = core.ModeCV
 	ModeCI = core.ModeCI
+)
+
+// WireFeatures is the bitmask of optional wire-protocol capabilities a pool
+// requests in its Hello handshake (ReceptionistConfig.WireFeatures); each
+// librarian grants the subset it supports, and ungranted features degrade
+// to the seed framing.
+type WireFeatures = protocol.Features
+
+// Wire-protocol feature bits.
+const (
+	// FeaturePipelining tags frames with exchange ids so one connection
+	// carries many concurrent exchanges with out-of-order replies.
+	FeaturePipelining = core.FeaturePipelining
+	// FeatureBatching lets rank-phase queries from concurrent clients
+	// coalesce into one frame per librarian (Options.BatchWindow).
+	FeatureBatching = core.FeatureBatching
+	// FeatureNone pins the seed framing: no negotiation, byte-identical
+	// wire traffic to a pre-feature deployment.
+	FeatureNone = core.FeatureNone
 )
 
 // MergeStrategy selects how CN rankings are collated (see Options.Merge).
