@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke bench-select bench-select-smoke bench-replica bench-replica-smoke bench-wire bench-wire-smoke verify
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-pool bench-cache bench-cache-smoke bench-select bench-select-smoke bench-replica bench-replica-smoke bench-wire bench-wire-smoke bench-ingest bench-ingest-smoke verify
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,18 @@ bench-wire:
 bench-wire-smoke:
 	$(GO) test -run='^$$' -bench=WireThroughput -benchtime=20x .
 
+# Regenerate BENCH_ingest.json: streaming-ingest docs/sec vs the
+# rebuild-and-swap baseline, and query throughput idle vs during continuous
+# ingestion (the writer is gated on INGEST_BENCH_RECORD).
+bench-ingest:
+	INGEST_BENCH_RECORD=1 $(GO) test -run='^$$' -bench=IngestThroughput .
+
+# Short form for verify: exercises every ingest cell — rebuild, streaming,
+# query interference — without touching the recorded BENCH_ingest.json
+# numbers.
+bench-ingest-smoke:
+	$(GO) test -run='^$$' -bench=IngestThroughput -benchtime=5x .
+
 # Full search-kernel sweep with allocation reporting; regenerates the
 # "current" section of BENCH_search.json (the "baseline" section records
 # the pre-kernel evaluator and is preserved).
@@ -89,5 +101,5 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SearchKernel -benchmem -benchtime=0.05s .
 
-verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke bench-select-smoke bench-replica-smoke bench-wire-smoke
+verify: vet build race fuzz-smoke bench-smoke bench-cache-smoke bench-select-smoke bench-replica-smoke bench-wire-smoke bench-ingest-smoke
 	@echo "verify: OK"

@@ -1,0 +1,512 @@
+package librarian
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"teraphim/internal/index"
+	"teraphim/internal/search"
+	"teraphim/internal/store"
+)
+
+// Streaming ingestion: Ingest enqueues document batches onto a bounded
+// queue; background workers tokenize/compress/build each batch into an
+// immutable segment off the serving path and publish it by appending to the
+// manifest. The queue gives backpressure a shape — a full queue makes
+// Ingest wait (context-aware) instead of letting indexing debt grow
+// unboundedly — and the size-tiered merge policy keeps the segment count
+// logarithmic in collection size so query fan-in stays cheap.
+
+// Typed errors of the ingest API, consistent with the core taxonomy
+// (core.ErrOverloaded etc.): match them with errors.Is.
+var (
+	// ErrIngestQueueFull reports that an Ingest call gave up (its context
+	// expired) while waiting for room on the bounded ingest queue.
+	ErrIngestQueueFull = errors.New("librarian: ingest queue full")
+	// ErrLibrarianClosed reports an operation on an UpdatableLibrarian
+	// after Close.
+	ErrLibrarianClosed = errors.New("librarian: closed")
+)
+
+// Defaults for IngestConfig zero values.
+const (
+	defaultQueueDepth = 16
+	defaultMergeFanIn = 4
+	defaultMinSegDocs = 256
+	maxTier           = 32
+)
+
+// IngestConfig tunes the streaming ingest pipeline. The zero value selects
+// the defaults noted per field; set it with ConfigureIngest before the
+// first Ingest call.
+type IngestConfig struct {
+	// QueueDepth bounds the ingest queue in batches (not documents).
+	// Ingest blocks — honouring its context — once this many batches are
+	// waiting to be built. Zero selects 16.
+	QueueDepth int
+	// Workers is the number of background segment builders. Zero selects 1,
+	// which also makes segment order (and therefore doc-id assignment)
+	// deterministic: batches are sealed in arrival order. More workers
+	// parallelise builds at the cost of that determinism.
+	Workers int
+	// MergeFanIn is the size-tier compaction trigger K: a run of at least K
+	// adjacent same-tier segments is merged into one. Zero selects 4;
+	// negative disables background merging (Compact still works).
+	MergeFanIn int
+	// MinSegmentDocs is the width of tier 0: a segment's tier is the number
+	// of times MinSegmentDocs·MergeFanIn^t fits under its doc count. Zero
+	// selects 256.
+	MinSegmentDocs int
+}
+
+func (u *UpdatableLibrarian) queueDepth() int {
+	if u.cfg.QueueDepth > 0 {
+		return u.cfg.QueueDepth
+	}
+	return defaultQueueDepth
+}
+
+func (u *UpdatableLibrarian) numWorkers() int {
+	if u.cfg.Workers > 0 {
+		return u.cfg.Workers
+	}
+	return 1
+}
+
+func (u *UpdatableLibrarian) fanIn() int {
+	if u.cfg.MergeFanIn > 1 {
+		return u.cfg.MergeFanIn
+	}
+	return defaultMergeFanIn
+}
+
+func (u *UpdatableLibrarian) minSegDocs() int {
+	if u.cfg.MinSegmentDocs > 0 {
+		return u.cfg.MinSegmentDocs
+	}
+	return defaultMinSegDocs
+}
+
+// tierOf buckets a segment size geometrically: tier t holds segments of
+// [base·F^t, base·F^(t+1)) documents, so merging F tier-t segments yields a
+// tier-t+1 segment and the segment count stays logarithmic in collection
+// size.
+func (u *UpdatableLibrarian) tierOf(docs uint32) int {
+	base, fan := uint64(u.minSegDocs()), uint64(u.fanIn())
+	t := 0
+	for size := base; uint64(docs) >= size*fan && t < maxTier; size *= fan {
+		t++
+	}
+	return t
+}
+
+// ConfigureIngest installs cfg. It must be called before the first Ingest
+// (the pipeline's queue and workers are sized lazily on first use).
+func (u *UpdatableLibrarian) ConfigureIngest(cfg IngestConfig) error {
+	u.qmu.Lock()
+	defer u.qmu.Unlock()
+	if u.closed {
+		return fmt.Errorf("librarian: configure %q: %w", u.name, ErrLibrarianClosed)
+	}
+	if u.started {
+		return fmt.Errorf("librarian: configure %q: ingest pipeline already running", u.name)
+	}
+	u.cfg = cfg
+	return nil
+}
+
+// ensureStartedLocked lazily creates the queue and spawns the workers.
+// Caller holds u.qmu.
+func (u *UpdatableLibrarian) ensureStartedLocked() {
+	if u.started {
+		return
+	}
+	u.queue = make(chan []store.Document, u.queueDepth())
+	u.stop = make(chan struct{})
+	u.started = true
+	for i := 0; i < u.numWorkers(); i++ {
+		u.workers.Add(1)
+		go u.worker()
+	}
+}
+
+// Ingest enqueues docs for background indexing and returns once the batch
+// is accepted (not once it is visible — use Flush for that). The batch is
+// copied, so the caller may reuse docs. When the bounded queue is full,
+// Ingest waits for room until ctx is done, then fails with an error
+// matching ErrIngestQueueFull — the backpressure signal: the caller is
+// producing documents faster than the builders retire them.
+func (u *UpdatableLibrarian) Ingest(ctx context.Context, docs []store.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	u.qmu.Lock()
+	if u.closed {
+		u.qmu.Unlock()
+		return fmt.Errorf("librarian: ingest into %q: %w", u.name, ErrLibrarianClosed)
+	}
+	u.ensureStartedLocked()
+	queue := u.queue
+	u.enqueuers.Add(1)
+	u.qmu.Unlock()
+	defer u.enqueuers.Done()
+
+	batch := append([]store.Document(nil), docs...)
+	select {
+	case queue <- batch:
+	default:
+		u.queueFullWaits.Add(1)
+		if m := u.metrics.Load(); m != nil {
+			m.queueFull.Inc()
+		}
+		select {
+		case queue <- batch:
+		case <-ctx.Done():
+			return fmt.Errorf("librarian: ingest into %q: %w: %w", u.name, ErrIngestQueueFull, context.Cause(ctx))
+		case <-u.closing:
+			return fmt.Errorf("librarian: ingest into %q: %w", u.name, ErrLibrarianClosed)
+		}
+	}
+	u.fmu.Lock()
+	u.enqSeq++
+	u.fmu.Unlock()
+	u.docsQueued.Add(uint64(len(docs)))
+	if m := u.metrics.Load(); m != nil {
+		m.docsQueued.Add(uint64(len(docs)))
+		m.queueLen.Set(int64(len(queue)))
+	}
+	return nil
+}
+
+// Flush blocks until every batch accepted by Ingest before the call has
+// been built and published (or failed), honouring ctx. It returns the first
+// asynchronous build error since the previous Flush, clearing it — the
+// redesigned API's error channel for work that failed off the caller's
+// goroutine.
+func (u *UpdatableLibrarian) Flush(ctx context.Context) error {
+	u.fmu.Lock()
+	target := u.enqSeq
+	for u.pubSeq < target {
+		wake := u.notify
+		u.fmu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return fmt.Errorf("librarian: flush %q: %w", u.name, context.Cause(ctx))
+		}
+		u.fmu.Lock()
+	}
+	err := u.ingestErr
+	u.ingestErr = nil
+	u.fmu.Unlock()
+	return err
+}
+
+// batchDone advances the publication sequence and wakes Flush waiters.
+func (u *UpdatableLibrarian) batchDone(err error) {
+	u.fmu.Lock()
+	u.pubSeq++
+	if err != nil && u.ingestErr == nil {
+		u.ingestErr = err
+	}
+	close(u.notify)
+	u.notify = make(chan struct{})
+	u.fmu.Unlock()
+}
+
+func (u *UpdatableLibrarian) worker() {
+	defer u.workers.Done()
+	for {
+		select {
+		case batch := <-u.queue:
+			u.buildBatch(batch)
+		case <-u.stop:
+			// Drain what Close let in, then exit.
+			for {
+				select {
+				case batch := <-u.queue:
+					u.buildBatch(batch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// buildBatch seals one batch into a segment and publishes it. Build
+// failures are recorded for the next Flush; the pipeline keeps going.
+func (u *UpdatableLibrarian) buildBatch(docs []store.Document) {
+	if gate := u.testBuildGate; gate != nil {
+		gate()
+	}
+	start := time.Now()
+	build := u.testBuild
+	if build == nil {
+		build = func(docs []store.Document) (*Librarian, error) {
+			return Build(u.name, docs, BuildOptions{Analyzer: u.analyzer, SkipInterval: u.skip})
+		}
+	}
+	lib, err := build(docs)
+	if err != nil {
+		u.ingestFailures.Add(1)
+		if m := u.metrics.Load(); m != nil {
+			m.ingestErrors.Inc()
+		}
+		u.batchDone(fmt.Errorf("librarian: ingest into %q: %w", u.name, err))
+		return
+	}
+	u.appendSegment(lib)
+	u.docsIndexed.Add(uint64(len(docs)))
+	u.batchesDone.Add(1)
+	if m := u.metrics.Load(); m != nil {
+		m.docsIndexed.Add(uint64(len(docs)))
+		m.batches.Inc()
+		m.buildSeconds.ObserveDuration(time.Since(start))
+		m.queueLen.Set(int64(len(u.queue)))
+	}
+	u.batchDone(nil)
+}
+
+// Close stops the ingest pipeline: no new Ingest is accepted, queued
+// batches are still built and published, and Close returns once workers and
+// background merges have drained. Queries (ServeConn) and the compatibility
+// surface keep working against the final manifest; further Ingest calls
+// fail with ErrLibrarianClosed. Close is idempotent.
+func (u *UpdatableLibrarian) Close() error {
+	u.qmu.Lock()
+	if u.closed {
+		u.qmu.Unlock()
+		return nil
+	}
+	u.closed = true
+	started := u.started
+	u.qmu.Unlock()
+	close(u.closing)
+	// Wait for in-flight enqueuers (closing unblocked any stuck on a full
+	// queue); only then may the workers treat an empty queue as final.
+	u.enqueuers.Wait()
+	if started {
+		close(u.stop)
+		u.workers.Wait()
+	}
+	u.mergeWG.Wait()
+	return nil
+}
+
+// Compact synchronously merges every segment present when it is called into
+// one, honouring ctx between segments. Concurrent ingest may leave newer
+// segments unmerged; a concurrent Update discards the compaction.
+func (u *UpdatableLibrarian) Compact(ctx context.Context) error {
+	u.mergeMu.Lock()
+	defer u.mergeMu.Unlock()
+	for {
+		m := u.snapshot()
+		if len(m.segs) <= 1 {
+			return nil
+		}
+		installed, err := u.mergeRange(ctx, m.segs)
+		if err != nil {
+			return fmt.Errorf("librarian: compact %q: %w", u.name, err)
+		}
+		if installed {
+			return nil
+		}
+		// The run vanished mid-merge (an Update replaced the collection);
+		// re-read and retry against the new manifest.
+	}
+}
+
+// maybeMerge schedules a background compaction pass if one is not already
+// running. The pass repeatedly merges the first run of ≥ MergeFanIn
+// adjacent same-tier segments until no run qualifies — adjacency is
+// required because doc ids are positional: merging non-adjacent segments
+// would renumber documents between them.
+func (u *UpdatableLibrarian) maybeMerge() {
+	if u.cfg.MergeFanIn < 0 {
+		return
+	}
+	if !u.merging.CompareAndSwap(false, true) {
+		return
+	}
+	u.mergeWG.Add(1)
+	go func() {
+		defer u.mergeWG.Done()
+		defer u.merging.Store(false)
+		u.mergeMu.Lock()
+		defer u.mergeMu.Unlock()
+		for {
+			m := u.snapshot()
+			i, j := u.findRun(m)
+			if j == i {
+				return
+			}
+			if installed, err := u.mergeRange(context.Background(), m.segs[i:j]); err != nil || !installed {
+				return
+			}
+		}
+	}()
+}
+
+// findRun returns the first run [i, j) of at least MergeFanIn adjacent
+// segments sharing a tier, or (0, 0) if none qualifies.
+func (u *UpdatableLibrarian) findRun(m *manifest) (int, int) {
+	fan := u.fanIn()
+	for i := 0; i < len(m.segs); {
+		tier := u.tierOf(m.segs[i].docs)
+		j := i + 1
+		for j < len(m.segs) && u.tierOf(m.segs[j].docs) == tier {
+			j++
+		}
+		if j-i >= fan {
+			return i, j
+		}
+		i = j
+	}
+	return 0, 0
+}
+
+// mergeRange merges the given adjacent segments into one — the index via
+// the exact index.Merge, the store rebuilt from the losslessly recovered
+// documents — and splices the result into the current manifest in place of
+// the inputs. If the inputs are no longer (contiguously) present when the
+// merge completes, the result is dropped and installed=false is returned.
+func (u *UpdatableLibrarian) mergeRange(ctx context.Context, run []*segment) (installed bool, err error) {
+	start := time.Now()
+	subs := make([]*index.Index, len(run))
+	offs := make([]uint32, len(run))
+	var total uint32
+	for i, sg := range run {
+		subs[i] = sg.lib.engine.Index()
+		offs[i] = total
+		total += sg.docs
+	}
+	m := u.snapshot()
+	ix, err := index.Merge(subs, offs, total, m.builderOpts()...)
+	if err != nil {
+		return false, fmt.Errorf("merge %d segments: %w", len(run), err)
+	}
+	docs := make([]store.Document, 0, total)
+	for _, sg := range run {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		for id := uint32(0); id < sg.docs; id++ {
+			d, err := sg.lib.docs.Fetch(id)
+			if err != nil {
+				return false, fmt.Errorf("recover doc %d: %w", sg.base+id, err)
+			}
+			docs = append(docs, d)
+		}
+	}
+	st, err := store.Build(docs)
+	if err != nil {
+		return false, fmt.Errorf("rebuild store: %w", err)
+	}
+	lib, err := New(u.name, search.NewEngine(ix, u.analyzer), st)
+	if err != nil {
+		return false, err
+	}
+	merged := &segment{lib: lib, docs: total}
+
+	installed = u.publish(func(cur *manifest) *manifest {
+		at := findSegments(cur.segs, run)
+		if at < 0 {
+			return nil // inputs replaced mid-merge; drop the result
+		}
+		segs := make([]*segment, 0, len(cur.segs)-len(run)+1)
+		segs = append(segs, cur.segs[:at]...)
+		segs = append(segs, merged)
+		segs = append(segs, cur.segs[at+len(run):]...)
+		return u.newManifest(segs, cur.model)
+	})
+	if installed {
+		u.mergesDone.Add(1)
+		if mm := u.metrics.Load(); mm != nil {
+			mm.merges.Inc()
+			mm.mergeSeconds.ObserveDuration(time.Since(start))
+		}
+	}
+	return installed, nil
+}
+
+// findSegments locates run as a contiguous subsequence of segs (matching by
+// the segments' immutable librarians), or -1. Ingest only ever appends and
+// merges splice, so a surviving run stays contiguous; only a wholesale
+// Update can make it vanish.
+func findSegments(segs, run []*segment) int {
+	if len(run) == 0 {
+		return -1
+	}
+outer:
+	for i := 0; i+len(run) <= len(segs); i++ {
+		for j := range run {
+			if segs[i+j].lib != run[j].lib {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// SegmentInfo describes one live segment.
+type SegmentInfo struct {
+	Base       uint32 // global doc id of the segment's first document
+	Docs       uint32
+	Tier       int
+	IndexBytes uint64
+	StoreBytes uint64
+}
+
+// SegmentStats is a point-in-time snapshot of the segmented collection and
+// its ingest pipeline.
+type SegmentStats struct {
+	Segments  []SegmentInfo
+	TotalDocs uint32
+	Epoch     uint64
+
+	QueueLen int // batches waiting to be built
+	QueueCap int
+
+	DocsQueued     uint64 // accepted by Ingest
+	DocsIndexed    uint64 // built and published
+	BatchesBuilt   uint64
+	Merges         uint64
+	IngestFailures uint64
+	QueueFullWaits uint64 // Ingest calls that hit a full queue
+}
+
+// SegmentStats reports the current manifest and pipeline counters.
+func (u *UpdatableLibrarian) SegmentStats() SegmentStats {
+	m := u.snapshot()
+	s := SegmentStats{
+		Segments:       make([]SegmentInfo, len(m.segs)),
+		TotalDocs:      m.total,
+		Epoch:          u.epoch.Load(),
+		QueueCap:       u.queueDepth(),
+		DocsQueued:     u.docsQueued.Load(),
+		DocsIndexed:    u.docsIndexed.Load(),
+		BatchesBuilt:   u.batchesDone.Load(),
+		Merges:         u.mergesDone.Load(),
+		IngestFailures: u.ingestFailures.Load(),
+		QueueFullWaits: u.queueFullWaits.Load(),
+	}
+	for i, sg := range m.segs {
+		s.Segments[i] = SegmentInfo{
+			Base:       sg.base,
+			Docs:       sg.docs,
+			Tier:       u.tierOf(sg.docs),
+			IndexBytes: sg.lib.engine.Index().SizeBytes(),
+			StoreBytes: sg.lib.docs.CompressedSize(),
+		}
+	}
+	u.qmu.Lock()
+	if u.started {
+		s.QueueLen = len(u.queue)
+	}
+	u.qmu.Unlock()
+	return s
+}

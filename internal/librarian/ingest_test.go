@@ -1,0 +1,391 @@
+package librarian
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"teraphim/internal/protocol"
+	"teraphim/internal/store"
+)
+
+func newIngestable(t *testing.T, n int, cfg IngestConfig) *UpdatableLibrarian {
+	t.Helper()
+	u, err := NewUpdatable("ING", synthCorpus(n), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ConfigureIngest(cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { u.Close() })
+	return u
+}
+
+// TestIngestFlushVisibility pins the redesigned API's basic contract: Ingest
+// returns on acceptance, Flush returns once the batch is queryable.
+func TestIngestFlushVisibility(t *testing.T) {
+	u := newIngestable(t, 4, IngestConfig{MergeFanIn: -1})
+	ctx := context.Background()
+
+	if err := u.Ingest(ctx, []store.Document{
+		{Title: "new-0", Text: "bioluminescent plankton"},
+		{Title: "new-1", Text: "bioluminescent algae bloom"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := rankOf(t, callServer(t, u, &protocol.RankQuery{Query: "bioluminescent", K: 10}))
+	if len(rr.Results) != 2 {
+		t.Fatalf("ingested docs not ranked: %+v", rr.Results)
+	}
+	for _, r := range rr.Results {
+		if r.Doc != 4 && r.Doc != 5 {
+			t.Fatalf("ingested doc got id %d, want 4 or 5", r.Doc)
+		}
+	}
+
+	st := u.SegmentStats()
+	if st.TotalDocs != 6 || st.DocsQueued != 2 || st.DocsIndexed != 2 || st.BatchesBuilt != 1 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+	if st.Epoch == 0 {
+		t.Fatal("epoch did not advance on ingest publication")
+	}
+	if len(st.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2 (merging disabled)", len(st.Segments))
+	}
+
+	// An empty batch is a no-op, not an enqueue.
+	if err := u.Ingest(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.SegmentStats().BatchesBuilt; got != 1 {
+		t.Fatalf("empty ingest built a batch: %d", got)
+	}
+}
+
+// TestAppendDoesNotRereadStore is the regression test for the old Append,
+// which re-fetched every existing document to rebuild the whole collection.
+// The segmented Append must seal new docs into a fresh segment without a
+// single read of the existing store.
+func TestAppendDoesNotRereadStore(t *testing.T) {
+	u, err := NewUpdatable("ING", synthCorpus(20), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	st := u.Current().Store()
+	before := st.Fetches()
+
+	if err := u.Append([]store.Document{{Title: "fresh", Text: "isotope spectrometer"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := st.Fetches(); got != before {
+		t.Fatalf("Append read the existing store %d times; want 0", got-before)
+	}
+	rr := rankOf(t, callServer(t, u, &protocol.RankQuery{Query: "spectrometer", K: 5}))
+	if len(rr.Results) != 1 || rr.Results[0].Doc != 20 {
+		t.Fatalf("appended doc not ranked at id 20: %+v", rr.Results)
+	}
+	if got := st.Fetches(); got != before {
+		t.Fatalf("ranking after Append read the old store %d times; want 0", got-before)
+	}
+}
+
+// TestIngestBackpressureTyped exercises the bounded queue deterministically:
+// a gated builder pins the queue full, and an Ingest whose context is
+// already cancelled must fail with the typed ErrIngestQueueFull.
+func TestIngestBackpressureTyped(t *testing.T) {
+	u := newIngestable(t, 2, IngestConfig{QueueDepth: 1, MergeFanIn: -1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	u.testBuildGate = func() { entered <- struct{}{}; <-gate }
+	ctx := context.Background()
+
+	doc := func(i int) []store.Document {
+		return []store.Document{{Title: fmt.Sprintf("bp-%d", i), Text: "quasar pulsar"}}
+	}
+	// Batch 0 is picked up by the worker, which blocks in its build.
+	if err := u.Ingest(ctx, doc(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// Batch 1 fills the one queue slot.
+	if err := u.Ingest(ctx, doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2 finds the queue full and its context dead: typed failure.
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	err := u.Ingest(dead, doc(2))
+	if !errors.Is(err, ErrIngestQueueFull) {
+		t.Fatalf("full-queue ingest error = %v, want ErrIngestQueueFull", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry the context cause: %v", err)
+	}
+	if got := u.SegmentStats().QueueFullWaits; got == 0 {
+		t.Fatal("queue-full wait not counted")
+	}
+
+	close(gate)
+	if err := u.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := u.SegmentStats()
+	if st.TotalDocs != 4 || st.DocsIndexed != 2 {
+		t.Fatalf("after releasing gate: %+v", st)
+	}
+}
+
+// TestFlushReturnsAsyncBuildError pins the error channel for work that fails
+// off the caller's goroutine: the first failure since the last Flush is
+// returned by the next Flush, then cleared.
+func TestFlushReturnsAsyncBuildError(t *testing.T) {
+	u := newIngestable(t, 2, IngestConfig{MergeFanIn: -1})
+	boom := errors.New("synthetic build failure")
+	u.testBuild = func(docs []store.Document) (*Librarian, error) { return nil, boom }
+	ctx := context.Background()
+
+	if err := u.Ingest(ctx, []store.Document{{Title: "x", Text: "doomed"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Flush(ctx); !errors.Is(err, boom) {
+		t.Fatalf("Flush error = %v, want the async build failure", err)
+	}
+	if err := u.Flush(ctx); err != nil {
+		t.Fatalf("second Flush should be clean, got %v", err)
+	}
+	st := u.SegmentStats()
+	if st.IngestFailures != 1 || st.TotalDocs != 2 || st.DocsIndexed != 0 {
+		t.Fatalf("failed batch leaked into the collection: %+v", st)
+	}
+}
+
+// TestCloseDrainsAndRejects: Close stops intake, still builds what was
+// queued, and is idempotent; post-Close Ingest/ConfigureIngest fail typed.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	u := newIngestable(t, 2, IngestConfig{QueueDepth: 4, MergeFanIn: -1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	u.testBuildGate = func() { entered <- struct{}{}; <-gate }
+	ctx := context.Background()
+
+	doc := func(i int) []store.Document {
+		return []store.Document{{Title: fmt.Sprintf("cl-%d", i), Text: "meridian sextant"}}
+	}
+	if err := u.Ingest(ctx, doc(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker blocked mid-build
+	if err := u.Ingest(ctx, doc(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { u.Close(); close(done) }()
+	// Wait until Close has flipped the closed flag…
+	for {
+		if err := u.Ingest(ctx, doc(9)); errors.Is(err, ErrLibrarianClosed) {
+			break
+		} else if err != nil {
+			t.Fatalf("unexpected ingest error while closing: %v", err)
+		}
+	}
+	// …then release the builder: Close must still drain batch 1.
+	close(gate)
+	<-done
+
+	st := u.SegmentStats()
+	if st.TotalDocs < 4 {
+		t.Fatalf("Close dropped queued batches: %+v", st)
+	}
+	if err := u.Ingest(ctx, doc(3)); !errors.Is(err, ErrLibrarianClosed) {
+		t.Fatalf("post-Close ingest error = %v, want ErrLibrarianClosed", err)
+	}
+	if err := u.ConfigureIngest(IngestConfig{}); !errors.Is(err, ErrLibrarianClosed) {
+		t.Fatalf("post-Close configure error = %v, want ErrLibrarianClosed", err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Serving continues against the final manifest.
+	rr := rankOf(t, callServer(t, u, &protocol.RankQuery{Query: "sextant", K: 10}))
+	if len(rr.Results) == 0 {
+		t.Fatal("closed librarian stopped answering queries")
+	}
+}
+
+// TestMergePolicySizeTiered drives the background size-tiered policy: many
+// tier-0 single-doc segments must be folded by runs of MergeFanIn without
+// changing the collection's contents or ids.
+func TestMergePolicySizeTiered(t *testing.T) {
+	u := newIngestable(t, 1, IngestConfig{MinSegmentDocs: 1, MergeFanIn: 2, QueueDepth: 32})
+	ctx := context.Background()
+	for i := 0; i < 15; i++ {
+		if err := u.Ingest(ctx, []store.Document{
+			{Title: fmt.Sprintf("m-%02d", i), Text: fmt.Sprintf("glacier moraine crevasse g%d", i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil { // waits out the background merge pass
+		t.Fatal(err)
+	}
+
+	st := u.SegmentStats()
+	if st.TotalDocs != 16 {
+		t.Fatalf("merging changed the doc count: %+v", st)
+	}
+	if st.Merges == 0 {
+		t.Fatalf("no background merges ran: %+v", st)
+	}
+	if len(st.Segments) >= 16 {
+		t.Fatalf("segment count not reduced: %d segments", len(st.Segments))
+	}
+	var base uint32
+	for i, sg := range st.Segments {
+		if sg.Base != base {
+			t.Fatalf("segment %d base %d, want %d", i, sg.Base, base)
+		}
+		base += sg.Docs
+	}
+	// Contents intact: every ingested doc still ranks under its unique term.
+	for i := 0; i < 15; i++ {
+		rr := rankOf(t, callServer(t, u, &protocol.RankQuery{Query: fmt.Sprintf("g%d", i), K: 3}))
+		if len(rr.Results) != 1 || rr.Results[0].Doc != uint32(1+i) {
+			t.Fatalf("doc m-%02d lost or renumbered after merges: %+v", i, rr.Results)
+		}
+	}
+}
+
+// TestEpochOnUpdateUnderMergeStorm: every publication — ingested batch,
+// background merge, Compact, Update — must bump the epoch exactly once and
+// fire OnUpdate exactly once, even when they race.
+func TestEpochOnUpdateUnderMergeStorm(t *testing.T) {
+	u := newIngestable(t, 1, IngestConfig{MinSegmentDocs: 1, MergeFanIn: 2, QueueDepth: 32})
+	var fired atomic.Uint64
+	u.OnUpdate(func() { fired.Add(1) })
+	ctx := context.Background()
+
+	ingestDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if err := u.Ingest(ctx, []store.Document{
+				{Title: fmt.Sprintf("s-%02d", i), Text: "storm surge barometer"},
+			}); err != nil {
+				ingestDone <- err
+				return
+			}
+		}
+		ingestDone <- nil
+	}()
+	for i := 0; i < 4; i++ {
+		if err := u.Compact(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-ingestDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Update(synthCorpus(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := fired.Load(), u.Epoch(); got != want {
+		t.Fatalf("OnUpdate fired %d times over %d epochs", got, want)
+	}
+	if u.Epoch() < 21 { // 20 batches + ≥1 compaction/merge + 1 update
+		t.Fatalf("epoch %d implausibly low", u.Epoch())
+	}
+	if got := u.SegmentStats().TotalDocs; got != 5 {
+		t.Fatalf("final Update did not win: %d docs", got)
+	}
+}
+
+// TestSnapshotNeverMixture runs a seed-framing wire session while batches
+// land and merges fire: every ranking must reflect exactly one published
+// manifest — its result count is a cumulative batch total, never a value in
+// between — and counts only grow, since dispatch snapshots per frame.
+func TestSnapshotNeverMixture(t *testing.T) {
+	u := newIngestable(t, 3, IngestConfig{MinSegmentDocs: 1, MergeFanIn: 2, QueueDepth: 32})
+	ctx := context.Background()
+
+	sizes := []int{1, 2, 3, 4}
+	valid := map[int]bool{3: true}
+	cum := 3
+	for _, s := range sizes {
+		cum += s
+		valid[cum] = true
+	}
+
+	client, server := net.Pipe()
+	srvDone := make(chan struct{})
+	go func() { defer close(srvDone); _ = u.ServeConn(server) }()
+	defer func() { client.Close(); server.Close(); <-srvDone }()
+
+	ingestDone := make(chan error, 1)
+	go func() {
+		for bi, s := range sizes {
+			batch := make([]store.Document, s)
+			for j := range batch {
+				batch[j] = store.Document{Title: fmt.Sprintf("b%d-%d", bi, j), Text: "ubiquitous sentinel beacon"}
+			}
+			if err := u.Ingest(ctx, batch); err != nil {
+				ingestDone <- err
+				return
+			}
+		}
+		ingestDone <- u.Flush(ctx)
+	}()
+
+	// The seed corpus contains no "sentinel", so the hit count equals the
+	// ingested-doc count of whichever manifest answered: 0, 1, 3, 6 or 10.
+	last := 0
+	for q := 0; q < 200; q++ {
+		if _, err := protocol.WriteMessage(client, &protocol.RankQuery{Query: "sentinel", K: 1000}); err != nil {
+			t.Fatal(err)
+		}
+		reply, _, err := protocol.ReadMessage(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, ok := reply.(*protocol.RankReply)
+		if !ok {
+			t.Fatalf("query %d: got %T", q, reply)
+		}
+		n := len(rr.Results)
+		if !valid[n+3] {
+			t.Fatalf("query %d saw %d sentinel docs — a mixture of manifests", q, n)
+		}
+		if n < last {
+			t.Fatalf("query %d count went backwards: %d after %d", q, n, last)
+		}
+		last = n
+	}
+
+	if err := <-ingestDone; err != nil {
+		t.Fatal(err)
+	}
+	rr := rankOf(t, callServer(t, u, &protocol.RankQuery{Query: "sentinel", K: 1000}))
+	if len(rr.Results) != 10 {
+		t.Fatalf("after flush: %d sentinel docs, want 10", len(rr.Results))
+	}
+}

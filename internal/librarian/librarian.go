@@ -17,7 +17,6 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"teraphim/internal/index"
 	"teraphim/internal/protocol"
@@ -129,88 +128,21 @@ func (l *Librarian) Store() *store.Store { return l.docs }
 // never change the framing — the peer may already have frames in flight —
 // so mid-stream Hellos are granted everything requested except pipelining.
 func (l *Librarian) ServeConn(conn io.ReadWriter) error {
-	m := l.metrics.Load()
-	if m != nil {
-		m.activeSessions.Inc()
-		defer m.activeSessions.Dec()
-	}
-	scratch := search.GetScratch()
-	defer scratch.Release()
-	rd := &protocol.Reader{R: conn}
-	wr := &protocol.Writer{W: conn}
-	first := true
-	for {
-		msg, _, read, err := rd.ReadReuse()
-		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return fmt.Errorf("librarian %q: %w", l.name, err)
-		}
-		start := time.Now()
-		var reply protocol.Message
-		upgrade := protocol.Features(0)
-		if h, ok := msg.(*protocol.Hello); ok && first {
-			granted := h.Features.Wire() & protocol.Features(l.supported.Load())
-			reply = l.hello(granted)
-			if granted.Has(protocol.FeaturePipelining) {
-				upgrade = granted
-			}
-		} else {
-			reply = l.handle(scratch, msg, 0)
-		}
-		first = false
-		wrote, err := wr.Write(0, reply)
-		m.observe(read, wrote, start, reply)
-		if err != nil {
-			return fmt.Errorf("librarian %q: %w", l.name, err)
-		}
-		if upgrade != 0 {
-			return l.serveTagged(conn, rd, m, upgrade)
-		}
-	}
+	return serveConn(l, conn)
 }
 
-// serveTagged is the pipelined serving loop: frames carry exchange tags,
-// requests are evaluated concurrently (each on its own pooled scratch), and
-// replies are written under a mutex with the request's tag — in completion
-// order, not arrival order.
-func (l *Librarian) serveTagged(conn io.ReadWriter, rd *protocol.Reader, m *libMetrics, features protocol.Features) error {
-	rd.Tagged = true
-	wr := &protocol.Writer{W: conn, Tagged: true}
-	var wmu sync.Mutex
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	for {
-		// Read() decodes into a fresh message: it escapes to the handler
-		// goroutine, so the Reader's reusable buffer cannot back it.
-		msg, tag, read, err := rd.Read()
-		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return fmt.Errorf("librarian %q: %w", l.name, err)
-		}
-		wg.Add(1)
-		go func(msg protocol.Message, tag uint32, read int) {
-			defer wg.Done()
-			start := time.Now()
-			scratch := search.GetScratch()
-			reply := l.handle(scratch, msg, features)
-			scratch.Release()
-			wmu.Lock()
-			wrote, werr := wr.Write(tag, reply)
-			wmu.Unlock()
-			m.observe(read, wrote, start, reply)
-			if werr != nil {
-				// The write side is broken; close the transport so the read
-				// loop (and the peer) notice instead of hanging.
-				if c, ok := conn.(io.Closer); ok {
-					_ = c.Close()
-				}
-			}
-		}(msg, tag, read)
-	}
+// connServer implementation — the serving loops in serve.go are shared with
+// UpdatableLibrarian.
+func (l *Librarian) serveName() string         { return l.name }
+func (l *Librarian) serveMetrics() *libMetrics { return l.metrics.Load() }
+func (l *Librarian) grantFeatures(req protocol.Features) protocol.Features {
+	return req & protocol.Features(l.supported.Load())
+}
+func (l *Librarian) helloReply(granted protocol.Features) protocol.Message {
+	return l.hello(granted)
+}
+func (l *Librarian) dispatch(scratch *search.Scratch, msg protocol.Message, conn protocol.Features) protocol.Message {
+	return l.handle(scratch, msg, conn)
 }
 
 // handle dispatches one request to the engine/store. scratch is the
@@ -435,8 +367,16 @@ type InProcessDialer struct {
 	wg    sync.WaitGroup
 }
 
+// ConnServer is any endpoint that can answer protocol messages on a stream —
+// a *Librarian or an *UpdatableLibrarian. InProcessDialer accepts either, so
+// in-process fleets can mix frozen and live-ingesting subcollections.
+type ConnServer interface {
+	Name() string
+	ServeConn(conn io.ReadWriter) error
+}
+
 type linkSpec struct {
-	lib *Librarian
+	lib ConnServer
 	cfg simnet.LinkConfig
 }
 
@@ -454,7 +394,7 @@ func NewInProcessDialer(libs []*Librarian, cfg simnet.LinkConfig) *InProcessDial
 // Several endpoints may share one Librarian (it is concurrency-safe), which
 // models replicas of a subcollection without duplicating the index. Safe to
 // call while the dialer is in use, so replica sets can grow live.
-func (d *InProcessDialer) AddEndpoint(name string, lib *Librarian, cfg simnet.LinkConfig) {
+func (d *InProcessDialer) AddEndpoint(name string, lib ConnServer, cfg simnet.LinkConfig) {
 	d.mu.Lock()
 	d.links[name] = linkSpec{lib: lib, cfg: cfg}
 	d.mu.Unlock()

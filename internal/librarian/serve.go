@@ -1,0 +1,132 @@
+package librarian
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"teraphim/internal/protocol"
+	"teraphim/internal/search"
+)
+
+// connServer abstracts "a thing that answers protocol messages over a
+// stream" so the two serving loops — the seed one-frame-at-a-time framing
+// and the tagged pipelined framing — are written once and shared between the
+// immutable Librarian and the segmented UpdatableLibrarian.
+//
+// The contract that makes sharing safe: dispatch must be callable from many
+// goroutines at once, and each call must evaluate against one consistent
+// snapshot of the collection. A plain Librarian is immutable, so this is
+// trivial; an UpdatableLibrarian loads its current segment manifest at the
+// top of each dispatch, which is exactly the per-frame snapshot rule that
+// lets updatable librarians grant FeaturePipelining.
+type connServer interface {
+	serveName() string
+	serveMetrics() *libMetrics
+	// grantFeatures masks a peer's requested features down to what this
+	// server supports right now.
+	grantFeatures(requested protocol.Features) protocol.Features
+	// helloReply builds the HelloReply advertising the granted features and
+	// the current collection statistics.
+	helloReply(granted protocol.Features) protocol.Message
+	// dispatch answers one request. scratch is reusable evaluation state
+	// owned by the caller; conn is the feature set active on the connection
+	// (it bounds what a mid-stream Hello may be granted).
+	dispatch(scratch *search.Scratch, msg protocol.Message, conn protocol.Features) protocol.Message
+}
+
+// serveConn is the seed serving loop shared by Librarian.ServeConn and
+// UpdatableLibrarian.ServeConn: strictly ordered request/reply frames, one
+// pooled scratch per session. When the connection's first frame is a Hello
+// granted FeaturePipelining, the session switches to tagged framing after
+// the HelloReply and continues in serveTagged. A Hello on any later frame
+// can never change the framing — the peer may already have frames in flight
+// — so mid-stream Hellos are granted everything requested except pipelining
+// (enforced inside dispatch).
+func serveConn(s connServer, conn io.ReadWriter) error {
+	m := s.serveMetrics()
+	if m != nil {
+		m.activeSessions.Inc()
+		defer m.activeSessions.Dec()
+	}
+	scratch := search.GetScratch()
+	defer scratch.Release()
+	rd := &protocol.Reader{R: conn}
+	wr := &protocol.Writer{W: conn}
+	first := true
+	for {
+		msg, _, read, err := rd.ReadReuse()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("librarian %q: %w", s.serveName(), err)
+		}
+		start := time.Now()
+		var reply protocol.Message
+		upgrade := protocol.Features(0)
+		if h, ok := msg.(*protocol.Hello); ok && first {
+			granted := s.grantFeatures(h.Features.Wire())
+			reply = s.helloReply(granted)
+			if granted.Has(protocol.FeaturePipelining) {
+				upgrade = granted
+			}
+		} else {
+			reply = s.dispatch(scratch, msg, 0)
+		}
+		first = false
+		wrote, err := wr.Write(0, reply)
+		m.observe(read, wrote, start, reply)
+		if err != nil {
+			return fmt.Errorf("librarian %q: %w", s.serveName(), err)
+		}
+		if upgrade != 0 {
+			return serveTagged(s, conn, rd, m, upgrade)
+		}
+	}
+}
+
+// serveTagged is the pipelined serving loop: frames carry exchange tags,
+// requests are evaluated concurrently (each on its own pooled scratch), and
+// replies are written under a mutex with the request's tag — in completion
+// order, not arrival order.
+func serveTagged(s connServer, conn io.ReadWriter, rd *protocol.Reader, m *libMetrics, features protocol.Features) error {
+	rd.Tagged = true
+	wr := &protocol.Writer{W: conn, Tagged: true}
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		// Read() decodes into a fresh message: it escapes to the handler
+		// goroutine, so the Reader's reusable buffer cannot back it.
+		msg, tag, read, err := rd.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("librarian %q: %w", s.serveName(), err)
+		}
+		wg.Add(1)
+		go func(msg protocol.Message, tag uint32, read int) {
+			defer wg.Done()
+			start := time.Now()
+			scratch := search.GetScratch()
+			reply := s.dispatch(scratch, msg, features)
+			scratch.Release()
+			wmu.Lock()
+			wrote, werr := wr.Write(tag, reply)
+			wmu.Unlock()
+			m.observe(read, wrote, start, reply)
+			if werr != nil {
+				// The write side is broken; close the transport so the read
+				// loop (and the peer) notice instead of hanging.
+				if c, ok := conn.(io.Closer); ok {
+					_ = c.Close()
+				}
+			}
+		}(msg, tag, read)
+	}
+}

@@ -1,16 +1,20 @@
 package librarian
 
 import (
+	"context"
+	"fmt"
 	"net"
+	"reflect"
 	"testing"
 
 	"teraphim/internal/protocol"
+	"teraphim/internal/store"
 )
 
 // taggedSession negotiates a pipelined session with lib and returns the
 // client conn plus the granted features. Callers speak tagged frames on the
 // returned conn; closing it ends the session.
-func taggedSession(t *testing.T, lib *Librarian) (net.Conn, protocol.Features) {
+func taggedSession(t *testing.T, lib ConnServer) (net.Conn, protocol.Features) {
 	t.Helper()
 	client, server := net.Pipe()
 	done := make(chan struct{})
@@ -148,6 +152,105 @@ func TestHelloMidSessionNeverUpgrades(t *testing.T) {
 		t.Fatal(err)
 	} else if _, ok := m.(*protocol.RankReply); !ok {
 		t.Fatalf("post-Hello RankQuery answered with %T", m)
+	}
+}
+
+// TestUpdatablePipeliningUnderIngest pins the headline capability the
+// rebuild-and-swap design could not offer: an updatable librarian grants
+// FeaturePipelining, and a tagged session stays correct while segments land
+// and merge underneath it. Every in-flight reply reflects exactly one
+// published manifest, and once ingestion quiesces, a tagged ranking equals
+// the seed-framing one frame for frame.
+func TestUpdatablePipeliningUnderIngest(t *testing.T) {
+	u, err := NewUpdatable("PL", synthCorpus(3), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.ConfigureIngest(IngestConfig{MinSegmentDocs: 1, MergeFanIn: 2, QueueDepth: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	client, granted := taggedSession(t, u)
+	if !granted.Has(protocol.FeaturePipelining) {
+		t.Fatalf("updatable librarian granted %v, want pipelining", granted)
+	}
+	wr := &protocol.Writer{W: client, Tagged: true}
+	rd := &protocol.Reader{R: client, Tagged: true}
+
+	ctx := context.Background()
+	sizes := []int{1, 2, 3, 4}
+	valid := map[int]bool{0: true}
+	cum := 0
+	for _, s := range sizes {
+		cum += s
+		valid[cum] = true
+	}
+	ingestDone := make(chan error, 1)
+	go func() {
+		for bi, s := range sizes {
+			batch := make([]store.Document, s)
+			for j := range batch {
+				batch[j] = store.Document{Title: fmt.Sprintf("p%d-%d", bi, j), Text: "ubiquitous sentinel beacon"}
+			}
+			if err := u.Ingest(ctx, batch); err != nil {
+				ingestDone <- err
+				return
+			}
+		}
+		ingestDone <- u.Flush(ctx)
+	}()
+
+	// Keep a window of frames in flight while batches publish and merge.
+	const frames = 60
+	const window = 8
+	pending := map[uint32]bool{}
+	next := uint32(1)
+	for done := 0; done < frames; {
+		for len(pending) < window && next <= frames {
+			if _, err := wr.Write(next, &protocol.RankQuery{Query: "sentinel", K: 1000}); err != nil {
+				t.Fatal(err)
+			}
+			pending[next] = true
+			next++
+		}
+		msg, tag, _, err := rd.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pending[tag] {
+			t.Fatalf("reply with unknown tag %d", tag)
+		}
+		delete(pending, tag)
+		done++
+		rr, ok := msg.(*protocol.RankReply)
+		if !ok {
+			t.Fatalf("tag %d: got %T", tag, msg)
+		}
+		if !valid[len(rr.Results)] {
+			t.Fatalf("tag %d saw %d sentinel docs — a mixture of manifests", tag, len(rr.Results))
+		}
+	}
+	if err := <-ingestDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiesced: tagged and seed-framing sessions must answer identically.
+	for _, q := range []string{"sentinel", "whale reef", "beacon tide"} {
+		if _, err := wr.Write(77, &protocol.RankQuery{Query: q, K: 50}); err != nil {
+			t.Fatal(err)
+		}
+		tagged, tag, _, err := rd.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag != 77 {
+			t.Fatalf("parity frame answered with tag %d", tag)
+		}
+		seed := callServer(t, u, &protocol.RankQuery{Query: q, K: 50})
+		if !reflect.DeepEqual(tagged, seed) {
+			t.Fatalf("query %q: tagged %+v vs seed %+v", q, tagged, seed)
+		}
 	}
 }
 

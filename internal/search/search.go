@@ -127,6 +127,20 @@ func (e *Engine) LocalWeight(term string, fqt uint32) float64 {
 	return logF1(fqt) * math.Log(n/float64(ft)+1)
 }
 
+// CollectionWeight returns w_{q,t} = log(f_qt+1)·log(N/f_t+1) for explicit
+// collection-wide statistics, 0 when ft is 0. It is the statistics-supplied
+// form of LocalWeight and shares its memoized log table, so an evaluator
+// that sums per-segment f_t and total N and feeds the result here produces
+// bitwise-identical weights to a single index built over the whole
+// collection — the property the librarian's segmented manifest relies on
+// for rank parity.
+func CollectionWeight(fqt, ft, numDocs uint32) float64 {
+	if ft == 0 {
+		return 0
+	}
+	return logF1(fqt) * math.Log(float64(numDocs)/float64(ft)+1)
+}
+
 // QueryWeights computes the local w_{q,t} map for an analysed query.
 func (e *Engine) QueryWeights(freqs map[string]uint32) map[string]float64 {
 	weights := make(map[string]float64, len(freqs))

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"teraphim/internal/huffman"
 )
@@ -28,6 +29,12 @@ type Store struct {
 	blobs   [][]byte // compressed text per doc
 	titles  []string
 	rawSize uint64 // total uncompressed text bytes, for compression reporting
+
+	// fetches counts document reads (Fetch + FetchCompressed). The counter
+	// exists so ingest paths can prove they did NOT re-read a store: the
+	// paper's "faster update" claim dies the moment appending N documents
+	// costs O(collection) re-fetches, and the regression test pins that.
+	fetches atomic.Uint64
 }
 
 // Build compresses docs into a Store. Documents are assigned ids 0..n-1 in
@@ -57,8 +64,13 @@ func Build(docs []Document) (*Store, error) {
 // NumDocs returns the number of stored documents.
 func (s *Store) NumDocs() uint32 { return uint32(len(s.blobs)) }
 
+// Fetches returns the number of document reads served so far (Fetch and
+// FetchCompressed calls that resolved to a document).
+func (s *Store) Fetches() uint64 { return s.fetches.Load() }
+
 // Fetch returns the decompressed document with the given id.
 func (s *Store) Fetch(id uint32) (Document, error) {
+	s.fetches.Add(1)
 	if int(id) >= len(s.blobs) {
 		return Document{}, fmt.Errorf("store: doc %d outside collection of %d", id, len(s.blobs))
 	}
@@ -73,6 +85,7 @@ func (s *Store) Fetch(id uint32) (Document, error) {
 // decompressing — the form a librarian ships over the network. The returned
 // slice must not be modified.
 func (s *Store) FetchCompressed(id uint32) ([]byte, error) {
+	s.fetches.Add(1)
 	if int(id) >= len(s.blobs) {
 		return nil, fmt.Errorf("store: doc %d outside collection of %d", id, len(s.blobs))
 	}

@@ -55,6 +55,18 @@
 // waiters, requests fail fast with ErrOverloaded instead of stacking up
 // until every deadline blows.
 //
+// # Streaming ingestion
+//
+// An UpdatableLibrarian grows its subcollection while serving. Ingest
+// enqueues document batches onto a bounded queue (context-aware, failing
+// with ErrIngestQueueFull under sustained backpressure); background builders
+// seal each batch into an immutable segment; a size-tiered policy merges
+// segments so query fan-in stays logarithmic; Flush waits for visibility and
+// surfaces asynchronous build errors; Compact folds everything to one
+// segment on demand. Rankings over a segmented collection are exactly those
+// of the equivalent single-segment collection. Update (rebuild-and-swap)
+// and Append remain as synchronous compatibility wrappers.
+//
 // # Replication and hedging
 //
 // ReceptionistConfig.Replicas gives a librarian several interchangeable
@@ -303,10 +315,39 @@ func BuildLibrarianWith(name string, docs []Document, opts BuildOptions) (*Libra
 	return librarian.Build(name, docs, opts)
 }
 
-// UpdatableLibrarian is a librarian whose collection can be rebuilt and
-// swapped atomically while serving — the per-subcollection update story
-// that §4 of the paper counts among distribution's management benefits.
-type UpdatableLibrarian = librarian.UpdatableLibrarian
+// Streaming ingestion: an UpdatableLibrarian grows its collection while
+// serving, LSM-style — documents stream through Ingest onto a bounded queue,
+// background builders seal them into immutable segments, and a size-tiered
+// policy merges segments behind the scenes. Queries always see one
+// consistent snapshot; every publication bumps the epoch and fires OnUpdate
+// (wire it to Pool.InvalidateCache). This is the per-subcollection update
+// story that §4 of the paper counts among distribution's management
+// benefits, taken from rebuild-and-swap to incremental.
+type (
+	// UpdatableLibrarian is a librarian whose collection can grow
+	// (Ingest/Append), be compacted (Compact) or be replaced wholesale
+	// (Update) while serving.
+	UpdatableLibrarian = librarian.UpdatableLibrarian
+	// IngestConfig tunes an updatable librarian's ingest pipeline: queue
+	// depth, builder concurrency and the size-tiered merge policy. Install
+	// with UpdatableLibrarian.ConfigureIngest before the first Ingest.
+	IngestConfig = librarian.IngestConfig
+	// SegmentStats is a point-in-time snapshot of an updatable librarian's
+	// segments and ingest pipeline counters.
+	SegmentStats = librarian.SegmentStats
+	// SegmentInfo describes one live segment of an updatable librarian.
+	SegmentInfo = librarian.SegmentInfo
+)
+
+// ErrIngestQueueFull is returned by UpdatableLibrarian.Ingest when the
+// bounded ingest queue stays full until the call's context expires — the
+// backpressure signal that documents arrive faster than the background
+// builders retire them. Test with errors.Is.
+var ErrIngestQueueFull = librarian.ErrIngestQueueFull
+
+// ErrLibrarianClosed is returned by ingest operations on an
+// UpdatableLibrarian after Close. Test with errors.Is.
+var ErrLibrarianClosed = librarian.ErrLibrarianClosed
 
 // NewUpdatableLibrarian builds the initial collection of an updatable
 // librarian.

@@ -4,6 +4,8 @@ package teraphim
 // downstream user would.
 
 import (
+	"context"
+	"errors"
 	"net"
 	"os"
 	"path/filepath"
@@ -198,5 +200,71 @@ func TestMonoServerOverPublicAPI(t *testing.T) {
 	}
 	if len(res.Answers) == 0 || res.Answers[0].Text == "" {
 		t.Fatalf("MS answers: %+v", res.Answers)
+	}
+}
+
+func TestStreamingIngestOverPublicAPI(t *testing.T) {
+	up, err := NewUpdatableLibrarian("LIVE", apiDocs()[:2], BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	if err := up.ConfigureIngest(IngestConfig{MinSegmentDocs: 1, MergeFanIn: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	dialer := NewInProcessDialer(nil, LinkConfig{})
+	dialer.AddEndpoint("LIVE", up, LinkConfig{})
+	pool, err := ConnectPool(dialer, []string{"LIVE"}, ReceptionistConfig{Cache: &CacheConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	up.OnUpdate(pool.InvalidateCache)
+
+	ctx := context.Background()
+	sess := pool.Session()
+	if _, err := sess.Query(ModeCN, "compression keeps the index small", 4, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Ingest(ctx, apiDocs()[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Query(ModeCN, "compression keeps the index small", 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.CacheHit {
+		t.Fatal("cached result survived an ingest epoch")
+	}
+	found := false
+	for _, a := range res.Answers {
+		if a.LocalDoc == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("streamed doc missing from answers: %+v", res.Answers)
+	}
+
+	st := up.SegmentStats()
+	if st.TotalDocs != 4 || st.DocsIndexed != 2 {
+		t.Fatalf("SegmentStats = %+v", st)
+	}
+	if err := up.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(up.SegmentStats().Segments); n != 1 {
+		t.Fatalf("segments after compact = %d", n)
+	}
+
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Ingest(ctx, apiDocs()[:1]); !errors.Is(err, ErrLibrarianClosed) {
+		t.Fatalf("ingest after close = %v, want ErrLibrarianClosed", err)
 	}
 }
