@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"teraphim/internal/obs"
+	"teraphim/internal/search"
 )
 
 // The receptionist is the shared bottleneck of the "multiple users at
@@ -92,6 +93,11 @@ type cacheKey struct {
 	kPrime int
 	fetch  bool
 	topR   int
+	// eval participates even though every evaluator returns the same
+	// ranking: the trace (librarian stats, postings decoded) differs, and a
+	// caller who asked to exercise a pruning evaluator should not be served
+	// an exact-evaluation trace from the cache, or vice versa.
+	eval search.Evaluator
 }
 
 // cacheEntry is one stored result plus its LRU bookkeeping.
@@ -163,6 +169,7 @@ func (c *resultCache) keyFor(fed *Federation, mode Mode, query string, k int, me
 		merge: merge,
 		fetch: opts.Fetch,
 		topR:  topR,
+		eval:  opts.Evaluator,
 	}
 	if mode == ModeCI {
 		key.kPrime = opts.KPrime

@@ -209,7 +209,14 @@ func (g *GroupedIndex) RankGroups(query string, kPrime int) ([]uint32, search.St
 // RankGroupsWith is RankGroups on a caller-owned search.Scratch, letting the
 // CI query path reuse one set of kernel accumulators across queries.
 func (g *GroupedIndex) RankGroupsWith(s *search.Scratch, query string, kPrime int) ([]uint32, search.Stats, error) {
-	results, stats, err := g.engine.RankWith(s, query, kPrime, nil)
+	return g.RankGroupsEval(s, query, kPrime, search.EvalExact)
+}
+
+// RankGroupsEval is RankGroupsWith under an explicit evaluation strategy, so
+// CI's central ranking benefits from the same rank-safe dynamic pruning as
+// the librarians' rank phase.
+func (g *GroupedIndex) RankGroupsEval(s *search.Scratch, query string, kPrime int, eval search.Evaluator) ([]uint32, search.Stats, error) {
+	results, stats, err := g.engine.RankWithEval(s, query, kPrime, nil, eval)
 	if err != nil {
 		return nil, stats, fmt.Errorf("core: rank groups: %w", err)
 	}

@@ -33,7 +33,7 @@ func (e *exec) queryCN(res *Result, query string, k int, merge MergeStrategy) er
 		return nil
 	}
 	replies, err := e.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
-		return &protocol.RankQuery{Query: query, K: uint32(k)}
+		return &protocol.RankQuery{Query: query, K: uint32(k), Evaluator: uint8(e.eval)}
 	})
 	if err != nil {
 		return err
@@ -88,7 +88,7 @@ func (e *exec) queryCV(res *Result, query string, k int) error {
 		return nil
 	}
 	replies, err := e.callParallel(&res.Trace, PhaseRank, names, func(string) protocol.Message {
-		return &protocol.RankQuery{Query: query, K: uint32(k), Weights: weights}
+		return &protocol.RankQuery{Query: query, K: uint32(k), Weights: weights, Evaluator: uint8(e.eval)}
 	})
 	if err != nil {
 		return err
@@ -114,7 +114,7 @@ func (e *exec) queryCI(res *Result, query string, k int, opts Options) error {
 		kPrime = DefaultKPrime
 	}
 	scratch := search.GetScratch()
-	groups, centralStats, err := central.RankGroupsWith(scratch, query, kPrime)
+	groups, centralStats, err := central.RankGroupsEval(scratch, query, kPrime, e.eval)
 	scratch.Release()
 	if err != nil {
 		return err

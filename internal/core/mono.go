@@ -41,7 +41,10 @@ func (m *MonoServer) Engine() *search.Engine { return m.engine }
 // Query evaluates the query locally. The trace contains only central
 // statistics (no network calls).
 func (m *MonoServer) Query(query string, k int, opts Options) (*Result, error) {
-	ranking, err := m.engine.Rank(query, k, nil)
+	if !opts.Evaluator.Valid() {
+		return nil, fmt.Errorf("%w: %d", search.ErrUnknownEvaluator, uint8(opts.Evaluator))
+	}
+	ranking, err := m.engine.RankEval(query, k, nil, opts.Evaluator)
 	if err != nil {
 		return nil, fmt.Errorf("core: mono-server rank: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"teraphim/internal/obs"
 	"teraphim/internal/protocol"
+	"teraphim/internal/search"
 	"teraphim/internal/simnet"
 	"teraphim/internal/textproc"
 )
@@ -93,6 +94,14 @@ type Options struct {
 	// is free), and cannot change results — replicas serve identical
 	// subcollections. Zero, or any value outside (0,1), disables hedging.
 	HedgeAfter float64
+	// Evaluator selects the librarians' rank-phase evaluation strategy:
+	// EvalExact (zero, the default) is the exhaustive document-sorted
+	// kernel; EvalMaxScore and EvalWAND are the rank-safe dynamic-pruning
+	// evaluators, which skip postings that provably cannot reach the top k
+	// while returning bit-identical rankings. The choice is threaded to
+	// every librarian in all modes (MS/CN/CV/CI); an unknown value fails
+	// the query with search.ErrUnknownEvaluator before any wire work.
+	Evaluator search.Evaluator
 	// BatchWindow lets a rank-phase request linger this long at the
 	// receptionist waiting for other clients' requests to the same
 	// librarian; everything that accumulates is shipped in one BatchQuery

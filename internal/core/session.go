@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"teraphim/internal/protocol"
+	"teraphim/internal/search"
 )
 
 // Session is a lightweight query-serving handle over a shared Federation
@@ -54,6 +55,12 @@ func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k i
 	if err != nil {
 		return nil, err
 	}
+	// The evaluator is validated with the same up-front discipline: an
+	// out-of-range Options.Evaluator must fail here, before any librarian
+	// sees a frame it would answer with an ErrorReply.
+	if !opts.Evaluator.Valid() {
+		return nil, fmt.Errorf("%w: %d", search.ErrUnknownEvaluator, uint8(opts.Evaluator))
+	}
 	topR := effectiveTopR(s.fed, opts)
 	if ctx == nil {
 		ctx = context.Background()
@@ -86,7 +93,7 @@ func (s *Session) QueryContext(ctx context.Context, mode Mode, query string, k i
 		}
 		defer adm.release()
 	}
-	e := &exec{ctx: ctx, fed: s.fed, pool: s.pool, policy: policyFor(opts), topR: topR}
+	e := &exec{ctx: ctx, fed: s.fed, pool: s.pool, policy: policyFor(opts), topR: topR, eval: opts.Evaluator}
 	res := &Result{}
 	res.Trace.Mode = mode
 	switch mode {
@@ -137,6 +144,10 @@ type exec struct {
 	// collection-selection score (already clamped to the fleet size); zero
 	// means full fan-out.
 	topR int
+	// eval is the rank-phase evaluation strategy stamped on every RankQuery
+	// this query sends (and applied locally by CI's central index). Already
+	// validated by QueryContext.
+	eval search.Evaluator
 
 	// hedgesLaunched/hedgesWon accumulate across this query's phases (the
 	// per-librarian exchange goroutines bump them concurrently) and are

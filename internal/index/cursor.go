@@ -64,7 +64,14 @@ func (ix *Index) ResetCursor(c *TermCursor, term string) error {
 	if !ok {
 		return fmt.Errorf("index: %w: %q", ErrTermNotFound, term)
 	}
-	e := &ix.entries[i]
+	ix.resetCursorEntry(c, &ix.entries[i])
+	return nil
+}
+
+// resetCursorEntry is ResetCursor given a resolved entry — the dictionary
+// lookup factored out for internal whole-index walks (the MaxFDT table
+// build) that already hold the entry.
+func (ix *Index) resetCursorEntry(c *TermCursor, e *termEntry) {
 	c.entry = e
 	c.r.Reset(e.postings)
 	c.golombB = codec.GolombParameter(uint64(ix.numDocs), uint64(e.ft))
@@ -75,7 +82,6 @@ func (ix *Index) ResetCursor(c *TermCursor, term string) error {
 	c.bufStart, c.bufLen = 0, 0
 	c.streamPrev = -1
 	c.DecodedPostings = 0
-	return nil
 }
 
 // FT returns f_t for the cursor's term.

@@ -141,6 +141,17 @@ func (fs *FreqSorted) TermFreq(term string) uint32 {
 // Persin et al. require for threshold computation).
 func (fs *FreqSorted) MaxFDT(term string) uint32 { return fs.maxFDT[term] }
 
+// ListBytes reports the exact compressed size in bytes of one term's
+// frequency-sorted list (0 when the term is absent), mirroring
+// Index.ListBytes so the pruned evaluator feeds Stats.IndexBytesRead the
+// same way the exact kernel does.
+func (fs *FreqSorted) ListBytes(term string) uint64 {
+	if e, ok := fs.entries[term]; ok {
+		return uint64(len(e.data))
+	}
+	return 0
+}
+
 // DocWeight returns W_d.
 func (fs *FreqSorted) DocWeight(doc uint32) (float64, error) {
 	if doc >= fs.numDocs {

@@ -1,0 +1,78 @@
+package librarian
+
+import (
+	"strings"
+	"testing"
+
+	"teraphim/internal/protocol"
+	"teraphim/internal/search"
+)
+
+// TestEvaluatorWireParity pins the dynamic-pruning evaluators across the
+// wire: a RankQuery carrying EvalMaxScore or EvalWAND must return exactly
+// the reply the exact evaluator returns — documents, scores and the
+// list-level Stats charges — against both a single-segment librarian and a
+// three-segment updatable librarian, with and without explicit weights.
+func TestEvaluatorWireParity(t *testing.T) {
+	uni, seg := buildSegmentedPair(t, 120)
+	weights := map[string]float64{"whale": 1.2, "reef": 0.8, "storm": 1.5}
+	queries := []struct {
+		q string
+		w map[string]float64
+	}{
+		{"whale reef storm", nil},
+		{"whale reef storm", weights},
+		{"compass tide anchor gull", nil},
+		{"lantern", nil},
+	}
+	for _, lib := range []struct {
+		name string
+		srv  ConnServer
+	}{{"uni", uni}, {"seg", seg}} {
+		for _, tc := range queries {
+			for _, k := range []int{1, 10, 200} {
+				exact := rankOf(t, callServer(t, lib.srv, &protocol.RankQuery{
+					Query: tc.q, K: uint32(k), Weights: tc.w,
+				}))
+				for _, eval := range []search.Evaluator{search.EvalMaxScore, search.EvalWAND} {
+					got := rankOf(t, callServer(t, lib.srv, &protocol.RankQuery{
+						Query: tc.q, K: uint32(k), Weights: tc.w, Evaluator: uint8(eval),
+					}))
+					label := lib.name + "/" + eval.String() + "/" + tc.q
+					assertRankParity(t, label, got, exact)
+					for i := range exact.Results {
+						if got.Results[i].Score != exact.Results[i].Score {
+							t.Fatalf("%s k=%d: rank %d score %.17g, exact %.17g",
+								label, k, i, got.Results[i].Score, exact.Results[i].Score)
+						}
+					}
+					if got.Stats.TermsLooked != exact.Stats.TermsLooked ||
+						got.Stats.ListsFetched != exact.Stats.ListsFetched ||
+						got.Stats.IndexBytesRead != exact.Stats.IndexBytesRead {
+						t.Fatalf("%s k=%d: list-level stats %+v, exact %+v",
+							label, k, got.Stats, exact.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorWireValidation: an out-of-range evaluator byte is answered
+// with an ErrorReply by both librarian flavours, before any evaluation.
+func TestEvaluatorWireValidation(t *testing.T) {
+	uni, seg := buildSegmentedPair(t, 30)
+	for _, lib := range []struct {
+		name string
+		srv  ConnServer
+	}{{"uni", uni}, {"seg", seg}} {
+		reply := callServer(t, lib.srv, &protocol.RankQuery{Query: "whale", K: 5, Evaluator: 99})
+		er, ok := reply.(*protocol.ErrorReply)
+		if !ok {
+			t.Fatalf("%s: got %T (%+v), want ErrorReply", lib.name, reply, reply)
+		}
+		if !strings.Contains(er.Message, "evaluator") {
+			t.Fatalf("%s: error %q does not mention the evaluator", lib.name, er.Message)
+		}
+	}
+}

@@ -224,7 +224,11 @@ func (l *Librarian) vocab() protocol.Message {
 }
 
 func (l *Librarian) rank(scratch *search.Scratch, m *protocol.RankQuery) protocol.Message {
-	results, stats, err := l.engine.RankWith(scratch, m.Query, int(m.K), m.Weights)
+	eval := search.Evaluator(m.Evaluator)
+	if !eval.Valid() {
+		return &protocol.ErrorReply{Message: fmt.Sprintf("unknown evaluator %d", m.Evaluator)}
+	}
+	results, stats, err := l.engine.RankWithEval(scratch, m.Query, int(m.K), m.Weights, eval)
 	if err != nil {
 		if errors.Is(err, search.ErrEmptyQuery) {
 			return &protocol.RankReply{Stats: stats}

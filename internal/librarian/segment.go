@@ -132,6 +132,10 @@ func (m *manifest) rank(scratch *search.Scratch, q *protocol.RankQuery) protocol
 	if k <= 0 {
 		return &protocol.ErrorReply{Message: fmt.Sprintf("search: k must be positive, got %d", k)}
 	}
+	eval := search.Evaluator(q.Evaluator)
+	if !eval.Valid() {
+		return &protocol.ErrorReply{Message: fmt.Sprintf("unknown evaluator %d", q.Evaluator)}
+	}
 	weights := q.Weights
 	if weights == nil {
 		var ok bool
@@ -145,7 +149,7 @@ func (m *manifest) rank(scratch *search.Scratch, q *protocol.RankQuery) protocol
 		if sg.docs == 0 {
 			continue
 		}
-		res, st, err := sg.lib.engine.RankWith(scratch, q.Query, k, weights)
+		res, st, err := sg.lib.engine.RankWithEval(scratch, q.Query, k, weights, eval)
 		if err != nil {
 			if errors.Is(err, search.ErrEmptyQuery) {
 				return &protocol.RankReply{Stats: stats}

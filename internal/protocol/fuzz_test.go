@@ -105,8 +105,8 @@ func FuzzMessageRoundTrip(f *testing.F) {
 			&HelloReply{Name: s, NumDocs: u32, NumTerms: u32 / 2, IndexBytes: u64, VocabBytes: u64 / 7, StoreBytes: u64 / 3},
 			&VocabRequest{},
 			&VocabReply{Terms: []TermStat{{Term: s, FT: u32}, {Term: s + "x", FT: u32 / 2}}},
-			&RankQuery{Query: s, K: u32, Weights: weights},
-			&RankQuery{Query: s, K: u32}, // nil weights (CN)
+			&RankQuery{Query: s, K: u32, Weights: weights, Evaluator: uint8(u64)},
+			&RankQuery{Query: s, K: u32}, // nil weights (CN), exact evaluator
 			&RankReply{Results: []ScoredDoc{{Doc: u32, Score: fl}, {Doc: u32 + 1, Score: fl / 2}}, Stats: stats},
 			&ScoreDocs{Query: s, Docs: docs, Weights: weights},
 			&FetchDocs{Docs: docs, Compressed: flag},
@@ -166,7 +166,7 @@ func equalMessage(a, b Message) bool {
 		return true
 	case *RankQuery:
 		y := b.(*RankQuery)
-		return x.Query == y.Query && x.K == y.K && equalWeights(x.Weights, y.Weights)
+		return x.Query == y.Query && x.K == y.K && x.Evaluator == y.Evaluator && equalWeights(x.Weights, y.Weights)
 	case *RankReply:
 		y := b.(*RankReply)
 		if x.Stats != y.Stats || len(x.Results) != len(y.Results) {

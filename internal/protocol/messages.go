@@ -170,6 +170,13 @@ func (m *RankQuery) encode(b []byte) []byte {
 	b = putString(b, m.Query)
 	b = putUint(b, uint64(m.K))
 	b = putWeights(b, m.Weights)
+	// Evaluator is an optional trailing field, same convention as
+	// Hello/HelloReply Features: encoded only when non-zero, so an
+	// exact-evaluator query is byte-identical to the seed frame and old
+	// librarians never see the field.
+	if m.Evaluator != 0 {
+		b = putUint(b, uint64(m.Evaluator))
+	}
 	return b
 }
 
@@ -185,6 +192,14 @@ func (m *RankQuery) decode(b []byte) error {
 	m.K = uint32(k)
 	if m.Weights, b, err = getWeights(b); err != nil {
 		return err
+	}
+	m.Evaluator = 0
+	if len(b) > 0 {
+		var ev uint64
+		if ev, b, err = getUint(b); err != nil {
+			return err
+		}
+		m.Evaluator = uint8(ev)
 	}
 	return expectEmpty(b, TypeRankQuery)
 }

@@ -163,6 +163,11 @@ type RankQuery struct {
 	Query   string
 	K       uint32
 	Weights map[string]float64
+	// Evaluator is the wire form of search.Evaluator — 0 exact, 1 MaxScore,
+	// 2 WAND. It is encoded only when non-zero, so exact queries remain
+	// byte-identical to the original frame format (the Hello Features
+	// convention); old peers simply never send it and decode it as absent.
+	Evaluator uint8
 }
 
 // ScoredDoc is one (local document id, similarity) pair.

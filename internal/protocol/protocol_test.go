@@ -151,12 +151,42 @@ func TestCorruptFrames(t *testing.T) {
 }
 
 func TestTrailingBytesRejected(t *testing.T) {
+	// One trailing varint after the weights is the optional Evaluator field;
+	// anything beyond it is still garbage and must be rejected.
 	msg := &RankQuery{Query: "q", K: 1}
 	payload := msg.encode(nil)
-	payload = append(payload, 0xAB)
+	payload = append(payload, 0xAB, 0xAB)
 	var back RankQuery
 	if err := back.decode(payload); err == nil {
 		t.Fatal("trailing bytes: want error")
+	}
+}
+
+func TestRankQueryEvaluatorCompat(t *testing.T) {
+	// An exact-evaluator query must encode byte-identically to the
+	// pre-evaluator frame format, so old librarians keep understanding new
+	// receptionists and vice versa.
+	plain := (&RankQuery{Query: "q", K: 7, Weights: map[string]float64{"a": 1}}).encode(nil)
+	tagged := (&RankQuery{Query: "q", K: 7, Weights: map[string]float64{"a": 1}, Evaluator: 0}).encode(nil)
+	if !bytes.Equal(plain, tagged) {
+		t.Fatalf("exact-evaluator frame differs from legacy frame:\n%x\n%x", plain, tagged)
+	}
+	// A legacy frame (no trailing field) decodes with Evaluator 0.
+	var back RankQuery
+	back.Evaluator = 9 // ensure decode resets stale state
+	if err := back.decode(plain); err != nil {
+		t.Fatal(err)
+	}
+	if back.Evaluator != 0 {
+		t.Fatalf("legacy frame decoded Evaluator %d, want 0", back.Evaluator)
+	}
+	// Non-zero evaluators round-trip through the trailing field.
+	for _, ev := range []uint8{1, 2, 200} {
+		got := roundTrip(t, &RankQuery{Query: "q", K: 1, Evaluator: ev})
+		rq, ok := got.(*RankQuery)
+		if !ok || rq.Evaluator != ev {
+			t.Fatalf("Evaluator %d arrived as %#v", ev, got)
+		}
 	}
 }
 

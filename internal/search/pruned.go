@@ -1,9 +1,11 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
+	"strings"
 
 	"teraphim/internal/index"
 	"teraphim/internal/textproc"
@@ -46,9 +48,16 @@ type Thresholds struct {
 // Rank evaluates a thresholded ranked query, returning the top k documents.
 // Scratch state comes from the shared pool; use RankWith to supply your own.
 func (e *PrunedEngine) Rank(query string, k int, th Thresholds) (Ranking, error) {
+	return e.RankContext(context.Background(), query, k, th)
+}
+
+// RankContext is Rank honouring a context, checked between inverted lists
+// exactly like Engine.RankContext, so long pruned evaluations stop promptly
+// when the caller's deadline passes.
+func (e *PrunedEngine) RankContext(ctx context.Context, query string, k int, th Thresholds) (Ranking, error) {
 	s := GetScratch()
 	defer s.Release()
-	results, stats, err := e.RankWith(s, query, k, th)
+	results, stats, err := e.rankWith(ctx, s, query, k, th)
 	return Ranking{Results: results, Stats: stats}, err
 }
 
@@ -56,6 +65,12 @@ func (e *PrunedEngine) Rank(query string, k int, th Thresholds) (Ranking, error)
 // epoch-stamped accumulators, memoised log weights, and non-boxing top-k
 // selector as the document-sorted kernel, driving the run-decoded cursor.
 func (e *PrunedEngine) RankWith(s *Scratch, query string, k int, th Thresholds) ([]Result, Stats, error) {
+	return e.rankWith(nil, s, query, k, th)
+}
+
+// rankWith is the shared kernel behind Rank/RankContext/RankWith; a nil ctx
+// skips the cancellation checks, as in Engine.rankWith.
+func (e *PrunedEngine) rankWith(ctx context.Context, s *Scratch, query string, k int, th Thresholds) ([]Result, Stats, error) {
 	var stats Stats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("search: k must be positive, got %d", k)
@@ -88,14 +103,19 @@ func (e *PrunedEngine) RankWith(s *Scratch, query string, k int, th Thresholds) 
 	}
 	// Process terms in decreasing contribution capacity, as Persin et al.
 	// prescribe, so accumulators are created by the most promising lists.
-	slices.SortFunc(s.qterms, func(a, b queryTerm) int {
+	// The order must be a deterministic total order: with Insert > 0, which
+	// list runs first decides which accumulators exist when later lists may
+	// only update (addExisting), so any tie-order wobble between equal-cap
+	// terms changes the ranking itself. Stable sort plus a term-string
+	// tie-break pins it.
+	slices.SortStableFunc(s.qterms, func(a, b queryTerm) int {
 		switch {
 		case a.contribCap > b.contribCap:
 			return -1
 		case a.contribCap < b.contribCap:
 			return 1
 		default:
-			return 0
+			return strings.Compare(a.term, b.term)
 		}
 	})
 	cMax := s.qterms[0].contribCap
@@ -103,6 +123,11 @@ func (e *PrunedEngine) RankWith(s *Scratch, query string, k int, th Thresholds) 
 	numDocs := e.fs.NumDocs()
 	s.reset(numDocs)
 	for i := range s.qterms {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		qt := &s.qterms[i]
 		if qt.wqt <= 0 {
 			continue
@@ -111,6 +136,7 @@ func (e *PrunedEngine) RankWith(s *Scratch, query string, k int, th Thresholds) 
 			continue
 		}
 		stats.ListsFetched++
+		stats.IndexBytesRead += e.fs.ListBytes(qt.term)
 		for {
 			fdt, docs, ok := s.fcur.NextRun()
 			if !ok {

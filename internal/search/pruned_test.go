@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"strconv"
@@ -138,6 +140,126 @@ func TestPrunedValidation(t *testing.T) {
 	results := ranking.Results
 	if err != nil || len(results) != 0 {
 		t.Fatalf("unknown term: %v, %v", results, err)
+	}
+}
+
+// TestPrunedTiedCapDeterministicOrder is the regression test for the
+// unstable-sort bug: "aa" and "bb" are engineered to have identical
+// contribution caps (same f_t, same f_qt, same MaxFDT), and d2/d3 are
+// mirror images — each has one f_dt=4 match and one f_dt=1 match, on
+// opposite terms. With Insert high enough that f_dt=1 runs may only update
+// existing accumulators, whichever tied list is processed first decides
+// which document keeps its small contribution. The stable term-string
+// tie-break processes "aa" first, so d2 (aa⁴ bb¹ — accumulator created by
+// aa's big run before bb's small run arrives) must outrank d3 (aa¹ bb⁴ —
+// its aa¹ contribution is lost), identically on every run.
+func TestPrunedTiedCapDeterministicOrder(t *testing.T) {
+	docs := []string{
+		"aa aa aa aa",    // d0: creates aa's f=4 run
+		"bb bb bb bb",    // d1: creates bb's f=4 run
+		"aa aa aa aa bb", // d2: aa f=4, bb f=1
+		"aa bb bb bb bb", // d3: aa f=1, bb f=4
+	}
+	pruned, _ := buildFreqSorted(t, docs)
+	th := Thresholds{Insert: 0.9}
+	var first []Result
+	for run := 0; run < 25; run++ {
+		// Query order "bb aa": without the tie-break the sort leaves the
+		// tied terms in appearance order and bb runs first, flipping the
+		// d2/d3 outcome — which is exactly what this test pins against.
+		ranking, err := pruned.Rank("bb aa", 4, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ranking.Results
+		if run == 0 {
+			first = got
+			if len(got) < 2 {
+				t.Fatalf("got %d results, want >= 2", len(got))
+			}
+			// d2 keeps both contributions, d3 only its big one.
+			var s2, s3 float64
+			for _, r := range got {
+				switch r.Doc {
+				case 2:
+					s2 = r.Score
+				case 3:
+					s3 = r.Score
+				}
+			}
+			if !(s2 > s3) {
+				t.Fatalf("tied-cap order wrong: score(d2)=%v <= score(d3)=%v — bb processed before aa", s2, s3)
+			}
+			continue
+		}
+		if len(got) != len(first) {
+			t.Fatalf("run %d: %d results, first run had %d", run, len(got), len(first))
+		}
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("run %d rank %d: %+v, first run %+v — nondeterministic", run, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+// TestPrunedContextCancellation: PrunedEngine now follows the context-first
+// convention — a cancelled context stops the evaluation with its error.
+func TestPrunedContextCancellation(t *testing.T) {
+	pruned, _ := buildFreqSorted(t, []string{"a b c", "b c d"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pruned.RankContext(ctx, "a b", 5, Thresholds{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := pruned.RankContext(context.Background(), "a b", 5, Thresholds{}); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+}
+
+// TestPrunedMetricsAccounting pins the pruned path's Stats against the
+// exact engine's on the same collection: with zero thresholds every counter
+// the two organisations share must agree, and IndexBytesRead — which the
+// pruned path previously never set — must equal the frequency-sorted sizes
+// of the matched lists.
+func TestPrunedMetricsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	docs := make([]string, 400)
+	for i := range docs {
+		var sb strings.Builder
+		for j := 0; j < 30; j++ {
+			sb.WriteString("w" + strconv.Itoa(rng.Intn(120)) + " ")
+		}
+		docs[i] = sb.String()
+	}
+	pruned, exact := buildFreqSorted(t, docs)
+	query := "w1 w2 w3 w999" // w999 absent
+	exactRanking, err := exact.Rank(query, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedRanking, err := pruned.Rank(query, 10, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, ps := exactRanking.Stats, prunedRanking.Stats
+	if ps.TermsLooked != es.TermsLooked || ps.ListsFetched != es.ListsFetched ||
+		ps.PostingsDecoded != es.PostingsDecoded || ps.CandidateDocs != es.CandidateDocs {
+		t.Fatalf("zero-threshold pruned stats %+v disagree with exact %+v", ps, es)
+	}
+	var wantBytes uint64
+	for _, term := range []string{"w1", "w2", "w3"} {
+		lb := pruned.fs.ListBytes(term)
+		if lb == 0 {
+			t.Fatalf("ListBytes(%q) = 0", term)
+		}
+		wantBytes += lb
+	}
+	if pruned.fs.ListBytes("w999") != 0 {
+		t.Fatal("ListBytes of absent term != 0")
+	}
+	if ps.IndexBytesRead != wantBytes {
+		t.Fatalf("IndexBytesRead = %d, want sum of matched ListBytes %d", ps.IndexBytesRead, wantBytes)
 	}
 }
 

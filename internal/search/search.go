@@ -199,29 +199,50 @@ func (e *Engine) Rank(query string, k int, weights map[string]float64) (Ranking,
 	return e.RankContext(context.Background(), query, k, weights)
 }
 
+// RankEval is Rank under an explicit evaluator (see Evaluator); EvalExact
+// reproduces Rank.
+func (e *Engine) RankEval(query string, k int, weights map[string]float64, eval Evaluator) (Ranking, error) {
+	return e.RankContextEval(context.Background(), query, k, weights, eval)
+}
+
 // RankContext is Rank honouring a context: cancellation is checked between
 // inverted lists, so a long multi-term evaluation stops promptly when the
 // caller gives up.
 func (e *Engine) RankContext(ctx context.Context, query string, k int, weights map[string]float64) (Ranking, error) {
+	return e.RankContextEval(ctx, query, k, weights, EvalExact)
+}
+
+// RankContextEval is RankContext under an explicit evaluator. The dynamic
+// pruners check cancellation between candidate batches rather than between
+// lists (they hold all lists open at once), with the same promptness.
+func (e *Engine) RankContextEval(ctx context.Context, query string, k int, weights map[string]float64, eval Evaluator) (Ranking, error) {
 	s := GetScratch()
 	defer s.Release()
-	results, stats, err := e.rankWith(ctx, s, query, k, weights)
+	results, stats, err := e.rankWith(ctx, s, query, k, weights, eval)
 	return Ranking{Results: results, Stats: stats}, err
 }
 
 // RankWith is Rank running on a caller-owned Scratch. In steady state the
 // only allocation left is the returned result slice.
 func (e *Engine) RankWith(s *Scratch, query string, k int, weights map[string]float64) ([]Result, Stats, error) {
-	return e.rankWith(nil, s, query, k, weights)
+	return e.rankWith(nil, s, query, k, weights, EvalExact)
 }
 
-// rankWith is the shared kernel behind Rank/RankContext/RankWith. A nil ctx
-// skips the cancellation checks entirely, keeping the hot kernel path free
-// of even the ctx.Err() loads.
-func (e *Engine) rankWith(ctx context.Context, s *Scratch, query string, k int, weights map[string]float64) ([]Result, Stats, error) {
+// RankWithEval is RankWith under an explicit evaluator.
+func (e *Engine) RankWithEval(s *Scratch, query string, k int, weights map[string]float64, eval Evaluator) ([]Result, Stats, error) {
+	return e.rankWith(nil, s, query, k, weights, eval)
+}
+
+// rankWith is the shared kernel behind Rank/RankContext/RankWith and their
+// Eval variants. A nil ctx skips the cancellation checks entirely, keeping
+// the hot kernel path free of even the ctx.Err() loads.
+func (e *Engine) rankWith(ctx context.Context, s *Scratch, query string, k int, weights map[string]float64, eval Evaluator) ([]Result, Stats, error) {
 	var stats Stats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("search: k must be positive, got %d", k)
+	}
+	if !eval.Valid() {
+		return nil, stats, fmt.Errorf("%w: %d", ErrUnknownEvaluator, uint8(eval))
 	}
 	parseQueryInto(s, e.analyzer, query)
 	if len(s.qterms) == 0 {
@@ -229,6 +250,11 @@ func (e *Engine) rankWith(ctx context.Context, s *Scratch, query string, k int, 
 	}
 	wq := e.resolveWeights(s, weights)
 	stats.TermsLooked = len(s.qterms)
+
+	if eval != EvalExact {
+		results, err := e.rankDynamic(ctx, s, k, wq, eval, &stats)
+		return results, stats, err
+	}
 
 	numDocs := e.ix.NumDocs()
 	s.reset(numDocs)
